@@ -1,0 +1,210 @@
+// Benchmarks regenerating the paper's evaluation (§6). Each benchmark maps
+// to a figure or claim; EXPERIMENTS.md records the measured numbers next to
+// the paper's. The full corpus comparison (250 blocks) lives in
+// cmd/compare; the benchmarks here use fixed representative instances so
+// `go test -bench=.` stays minutes, not hours.
+package polyise_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"polyise"
+	"polyise/internal/bench"
+	"polyise/internal/enum"
+	"polyise/internal/workload"
+)
+
+func countCuts(b *testing.B, run func(func(polyise.Cut) bool) polyise.Stats) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		run(func(polyise.Cut) bool { n++; return true })
+		b.ReportMetric(float64(n), "cuts")
+	}
+}
+
+func opts() polyise.Options {
+	o := polyise.DefaultOptions()
+	o.KeepCuts = false
+	return o
+}
+
+// BenchmarkFigure5 reproduces the figure 5 run-time comparison on one
+// representative block per size cluster: the polynomial algorithm (X axis)
+// versus the pruned exhaustive search of [15] (Y axis). The paper's shape:
+// comparable on small blocks, the polynomial algorithm ahead on most, and
+// dramatically ahead on the tree worst case (see BenchmarkTreeWorstCase).
+func BenchmarkFigure5(b *testing.B) {
+	sizes := []struct {
+		cluster string
+		n       int
+	}{
+		{"small", 40},
+		{"medium", 120},
+	}
+	for _, s := range sizes {
+		g := workload.MiBenchLike(rand.New(rand.NewSource(5)), s.n, workload.DefaultProfile())
+		b.Run(fmt.Sprintf("poly/%s-n%d", s.cluster, s.n), func(b *testing.B) {
+			countCuts(b, func(v func(polyise.Cut) bool) polyise.Stats {
+				return polyise.Enumerate(g, opts(), v)
+			})
+		})
+		b.Run(fmt.Sprintf("pruned/%s-n%d", s.cluster, s.n), func(b *testing.B) {
+			countCuts(b, func(v func(polyise.Cut) bool) polyise.Stats {
+				return polyise.PrunedExhaustiveSearch(g, opts(), v)
+			})
+		})
+	}
+}
+
+// BenchmarkTreeWorstCase is the figure 4 family: complete binary trees,
+// provably exponential (O(1.6^n)) for [4]-style searches. Depth 5 is 63
+// nodes; the exhaustive search already needs orders of magnitude longer
+// than the polynomial algorithm, and the gap widens with depth.
+func BenchmarkTreeWorstCase(b *testing.B) {
+	for depth := 4; depth <= 6; depth++ {
+		g := polyise.TreeWorstCase(depth)
+		b.Run(fmt.Sprintf("poly/depth%d-n%d", depth, g.N()), func(b *testing.B) {
+			countCuts(b, func(v func(polyise.Cut) bool) polyise.Stats {
+				return polyise.Enumerate(g, opts(), v)
+			})
+		})
+		if depth <= 5 { // exhaustive beyond depth 5 takes too long for -bench=.
+			b.Run(fmt.Sprintf("pruned/depth%d-n%d", depth, g.N()), func(b *testing.B) {
+				countCuts(b, func(v func(polyise.Cut) bool) polyise.Stats {
+					return polyise.PrunedExhaustiveSearch(g, opts(), v)
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkScaling backs the polynomial-complexity claim (§5): run time of
+// the enumeration across a size sweep at the paper's Nin=4/Nout=2. The
+// fitted exponent (see cmd/compare -mode scaling and EXPERIMENTS.md) must
+// stay below the theoretical Nin+Nout+1.
+func BenchmarkScaling(b *testing.B) {
+	r := rand.New(rand.NewSource(9))
+	for _, n := range []int{25, 50, 100, 150} {
+		g := workload.MiBenchLike(r, n, workload.DefaultProfile())
+		b.Run(fmt.Sprintf("poly/n%d", n), func(b *testing.B) {
+			countCuts(b, func(v func(polyise.Cut) bool) polyise.Stats {
+				return polyise.Enumerate(g, opts(), v)
+			})
+		})
+	}
+}
+
+// BenchmarkIOConstraints sweeps the port constraint at fixed size,
+// exercising the O(n^(Nin+Nout+1)) dependence on the constraint itself.
+func BenchmarkIOConstraints(b *testing.B) {
+	g := workload.MiBenchLike(rand.New(rand.NewSource(11)), 80, workload.DefaultProfile())
+	for _, c := range []struct{ nin, nout int }{{2, 1}, {3, 1}, {4, 2}, {5, 2}} {
+		opt := opts()
+		opt.MaxInputs, opt.MaxOutputs = c.nin, c.nout
+		b.Run(fmt.Sprintf("nin%d-nout%d", c.nin, c.nout), func(b *testing.B) {
+			countCuts(b, func(v func(polyise.Cut) bool) polyise.Stats {
+				return polyise.Enumerate(g, opt, v)
+			})
+		})
+	}
+}
+
+// BenchmarkAblation measures the §5.3 prunings: each variant disables one
+// (the last one enables the paper's approximate dominator–input test).
+func BenchmarkAblation(b *testing.B) {
+	g := workload.MiBenchLike(rand.New(rand.NewSource(13)), 100, workload.DefaultProfile())
+	variants := []struct {
+		name   string
+		mutate func(*polyise.Options)
+	}{
+		{"all", func(*polyise.Options) {}},
+		{"no-output-output", func(o *polyise.Options) { o.PruneOutputOutput = false }},
+		{"no-input-input", func(o *polyise.Options) { o.PruneInputInput = false }},
+		{"no-output-input", func(o *polyise.Options) { o.PruneOutputInput = false }},
+		{"no-build-prune", func(o *polyise.Options) { o.PruneWhileBuildingS = false }},
+		{"approx-dominator-input", func(o *polyise.Options) { o.PruneDominatorInput = true }},
+		{"approx-forbidden-anc", func(o *polyise.Options) { o.PruneForbiddenAncestors = true }},
+	}
+	for _, v := range variants {
+		opt := opts()
+		v.mutate(&opt)
+		b.Run(v.name, func(b *testing.B) {
+			countCuts(b, func(visit func(polyise.Cut) bool) polyise.Stats {
+				return polyise.Enumerate(g, opt, visit)
+			})
+		})
+	}
+}
+
+// BenchmarkBasicVsIncremental compares figure 2's basic algorithm with
+// figure 3's incremental one (§5.2).
+func BenchmarkBasicVsIncremental(b *testing.B) {
+	g := workload.MiBenchLike(rand.New(rand.NewSource(17)), 40, workload.DefaultProfile())
+	b.Run("incremental", func(b *testing.B) {
+		countCuts(b, func(v func(polyise.Cut) bool) polyise.Stats {
+			return polyise.Enumerate(g, opts(), v)
+		})
+	})
+	b.Run("basic", func(b *testing.B) {
+		countCuts(b, func(v func(polyise.Cut) bool) polyise.Stats {
+			return polyise.EnumerateBasic(g, opts(), v)
+		})
+	})
+}
+
+// BenchmarkISESelection measures the end-to-end identification flow that
+// backs the §7 speedup claim: enumerate, score, select.
+func BenchmarkISESelection(b *testing.B) {
+	g := workload.MiBenchLike(rand.New(rand.NewSource(19)), 100, workload.DefaultProfile())
+	model := polyise.DefaultModel()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sel := polyise.IdentifyISE(g, polyise.DefaultOptions(), model, polyise.DefaultSelectOptions())
+		b.ReportMetric(sel.Speedup(), "speedup")
+	}
+}
+
+// BenchmarkConnectedOnly measures the Yu–Mitra style restriction (§2): the
+// connected-cut search the algorithm "can be adapted to run faster under".
+func BenchmarkConnectedOnly(b *testing.B) {
+	g := workload.MiBenchLike(rand.New(rand.NewSource(23)), 120, workload.DefaultProfile())
+	for _, connected := range []bool{false, true} {
+		opt := opts()
+		opt.ConnectedOnly = connected
+		name := "all-cuts"
+		if connected {
+			name = "connected-only"
+		}
+		b.Run(name, func(b *testing.B) {
+			countCuts(b, func(v func(polyise.Cut) bool) polyise.Stats {
+				return polyise.Enumerate(g, opt, v)
+			})
+		})
+	}
+}
+
+// TestBenchHarnessSmoke keeps the bench package itself under test: a tiny
+// figure 5 comparison must produce sane, winner-consistent data.
+func TestBenchHarnessSmoke(t *testing.T) {
+	blocks := workload.Corpus(3, workload.CorpusSpec{
+		Small: 4, TreeDepths: []int{4}, Profile: workload.DefaultProfile(),
+	})
+	points := bench.CompareCorpus(blocks, enum.DefaultOptions(), 0)
+	if len(points) != 5 {
+		t.Fatalf("points = %d, want 5", len(points))
+	}
+	for _, p := range points {
+		if p.Poly.Cuts != p.Pruned.Cuts {
+			t.Fatalf("%s: algorithms disagree on cut count: %d vs %d",
+				p.Block, p.Poly.Cuts, p.Pruned.Cuts)
+		}
+	}
+	sums := bench.Summarize(points)
+	if len(sums) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(sums))
+	}
+}

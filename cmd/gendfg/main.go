@@ -1,0 +1,86 @@
+// Command gendfg generates benchmark data-flow graphs in the polyise text
+// format: single MiBench-like blocks, figure 4 trees, or the full §6
+// corpus as one file per block.
+//
+// Usage:
+//
+//	gendfg -kind mibench -n 500 -seed 7 > block.dfg
+//	gendfg -kind tree -depth 6 > tree.dfg
+//	gendfg -kind corpus -dir corpus/ -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"polyise/internal/dfg"
+	"polyise/internal/graphio"
+	"polyise/internal/workload"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "mibench", "mibench | tree | chain | butterfly | corpus")
+		n     = flag.Int("n", 100, "node count (mibench, chain)")
+		depth = flag.Int("depth", 5, "tree depth / butterfly stages")
+		arity = flag.Int("arity", 2, "tree arity")
+		seed  = flag.Int64("seed", 1, "generator seed")
+		dir   = flag.String("dir", "", "output directory (corpus mode)")
+		dot   = flag.Bool("dot", false, "emit Graphviz DOT instead of text format")
+	)
+	flag.Parse()
+
+	emit := func(g *dfg.Graph) {
+		var err error
+		if *dot {
+			err = graphio.WriteDOT(os.Stdout, g, graphio.DOTOptions{})
+		} else {
+			err = graphio.Write(os.Stdout, g)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	switch *kind {
+	case "mibench":
+		emit(workload.MiBenchLike(rand.New(rand.NewSource(*seed)), *n, workload.DefaultProfile()))
+	case "tree":
+		emit(workload.Tree(*depth, *arity))
+	case "chain":
+		emit(workload.Chain(*n))
+	case "butterfly":
+		emit(workload.Butterfly(*depth))
+	case "corpus":
+		if *dir == "" {
+			fatal(fmt.Errorf("corpus mode requires -dir"))
+		}
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fatal(err)
+		}
+		blocks := workload.Corpus(*seed, workload.DefaultCorpusSpec())
+		for _, b := range blocks {
+			f, err := os.Create(filepath.Join(*dir, b.Name+".dfg"))
+			if err != nil {
+				fatal(err)
+			}
+			if err := graphio.Write(f, b.G); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d blocks to %s\n", len(blocks), *dir)
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gendfg:", err)
+	os.Exit(1)
+}

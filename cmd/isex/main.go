@@ -1,0 +1,161 @@
+// Command isex enumerates the convex cuts of a data-flow graph under
+// input/output port constraints and, optionally, selects an instruction set
+// extension and reports the estimated speedup.
+//
+// Usage:
+//
+//	isex -nin 4 -nout 2 block.dfg          enumerate, print a summary
+//	isex -list block.dfg                   additionally print every cut
+//	isex -select -max-instr 4 block.dfg    pick an ISE and report speedup
+//	isex -expr kernel.x                    input is exprc source, not a DFG
+//	isex -dot-best out.dot block.dfg       write the best cut as DOT
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"polyise/internal/dfg"
+	"polyise/internal/enum"
+	"polyise/internal/exprc"
+	"polyise/internal/graphio"
+	"polyise/internal/ise"
+)
+
+func main() {
+	var (
+		nin       = flag.Int("nin", 4, "maximum inputs (register read ports)")
+		nout      = flag.Int("nout", 2, "maximum outputs (register write ports)")
+		connected = flag.Bool("connected", false, "restrict to connected cuts")
+		maxDepth  = flag.Int("max-depth", 0, "restrict cut depth (0 = unlimited)")
+		list      = flag.Bool("list", false, "print every enumerated cut")
+		doSelect  = flag.Bool("select", false, "select an ISE and report speedup")
+		maxInstr  = flag.Int("max-instr", 0, "instruction budget for -select (0 = unlimited)")
+		area      = flag.Float64("area", 0, "area budget for -select (0 = unlimited)")
+		expr      = flag.Bool("expr", false, "input file is exprc source")
+		dotBest   = flag.String("dot-best", "", "write DOT with the best cut highlighted")
+		rtlBest   = flag.String("rtl-best", "", "write a Verilog module for the best cut")
+		iterate   = flag.Int("iterate", 0, "run N rounds of iterative identify+collapse")
+		timeout   = flag.Duration("timeout", 0, "abort enumeration after this long")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: isex [flags] <block.dfg | kernel.x>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	g, err := loadGraph(flag.Arg(0), *expr)
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := enum.DefaultOptions()
+	opt.MaxInputs = *nin
+	opt.MaxOutputs = *nout
+	opt.ConnectedOnly = *connected
+	opt.MaxDepth = *maxDepth
+	if *timeout > 0 {
+		opt.Deadline = time.Now().Add(*timeout)
+	}
+
+	start := time.Now()
+	cuts, stats := enum.CollectAll(g, opt)
+	dur := time.Since(start)
+
+	fmt.Printf("graph: %d nodes, %d edges, %d roots, %d forbidden\n",
+		g.N(), g.NumEdges(), len(g.Roots()), len(g.Forbidden()))
+	fmt.Printf("constraint: Nin=%d Nout=%d connected=%v\n", *nin, *nout, *connected)
+	fmt.Printf("valid cuts: %d   (candidates %d, duplicates %d, analyses %d) in %v\n",
+		stats.Valid, stats.Candidates, stats.Duplicates, stats.LTRuns, dur)
+	if stats.TimedOut {
+		fmt.Println("WARNING: enumeration timed out; results are partial")
+	}
+
+	if *list {
+		for _, c := range cuts {
+			fmt.Println(" ", c)
+		}
+	}
+
+	est := ise.NewEstimator(g, ise.DefaultModel())
+	var best ise.Estimate
+	for _, c := range cuts {
+		if e := est.Estimate(c); e.Saving > best.Saving {
+			best = e
+		}
+	}
+	if best.Cut.Nodes != nil {
+		fmt.Printf("best single instruction: %v\n", best)
+	}
+
+	if *doSelect {
+		sopt := ise.DefaultSelectOptions()
+		sopt.MaxInstructions = *maxInstr
+		sopt.AreaBudget = *area
+		sel := ise.Select(g, ise.DefaultModel(), cuts, sopt)
+		fmt.Printf("selected %d instructions, area %.1f\n", len(sel.Chosen), sel.TotalArea)
+		for _, c := range sel.Chosen {
+			fmt.Println(" ", c)
+		}
+		fmt.Printf("block cycles: %d -> %d   speedup %.2fx\n",
+			sel.BlockCyclesBefore, sel.BlockCyclesAfter, sel.Speedup())
+	}
+
+	if *dotBest != "" && best.Cut.Nodes != nil {
+		f, err := os.Create(*dotBest)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := graphio.WriteDOT(f, g, graphio.DOTOptions{Highlight: best.Cut.Nodes, Name: "best"}); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *rtlBest != "" && best.Cut.Nodes != nil {
+		f, err := os.Create(*rtlBest)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := ise.WriteVerilog(f, g, best.Cut, "ise_best"); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *iterate > 0 {
+		res, err := ise.IterativeIdentify(g, opt, ise.DefaultModel(), *iterate)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("iterative flow: %d rounds, block cycles %d -> %d, speedup %.2fx\n",
+			len(res.Rounds), res.CyclesBefore, res.CyclesAfter, res.Speedup())
+		for i, r := range res.Rounds {
+			fmt.Printf("  round %d: %v\n", i, r.Instruction)
+		}
+	}
+}
+
+func loadGraph(path string, isExpr bool) (*dfg.Graph, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if isExpr {
+		return exprc.Compile(string(data))
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graphio.Read(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "isex:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,139 @@
+package baseline
+
+import (
+	"time"
+
+	"polyise/internal/bitset"
+	"polyise/internal/dfg"
+	"polyise/internal/enum"
+)
+
+// AtasuSearch reimplements the earlier Atasu–Pozzi–Ienne identification
+// algorithm (reference [4] of the paper, DAC 2003) at period-faithful
+// pruning strength: a binary include/exclude search in reverse topological
+// order (sink side first) whose only subtree-killing propagation is the
+// output-port constraint — in that order an included vertex's output status
+// is fixed immediately, since all its successors are already decided.
+// Input counts and convexity are only verified on complete assignments.
+//
+// This is the algorithm the paper proves exponential, O(1.6^n), on the
+// figure 4 trees, and the reason its run time "quickly deteriorates": with
+// Nout ≥ 2 nearly every scattered partial assignment stays plausible. The
+// stronger PrunedSearch in this package shows how far constraint
+// propagation moved after 2006; figure 5 of EXPERIMENTS.md reports both.
+func AtasuSearch(g *dfg.Graph, opt enum.Options, visit func(enum.Cut) bool) enum.Stats {
+	s := &atasu{
+		g:     g,
+		opt:   opt,
+		visit: visit,
+		val:   enum.NewValidator(g, opt),
+		state: make([]int8, g.N()),
+		S:     bitset.New(g.N()),
+	}
+	order := make([]int, g.N())
+	copy(order, g.Topo())
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	s.order = order
+	s.walk(0)
+	return s.stats
+}
+
+type atasu struct {
+	g     *dfg.Graph
+	opt   enum.Options
+	visit func(enum.Cut) bool
+	val   *enum.Validator
+	stats enum.Stats
+
+	order    []int
+	state    []int8
+	S        *bitset.Set
+	inCount  int
+	outCount int // fixed outputs: all successors are decided in this order
+	stopped  bool
+	tick     uint32
+}
+
+func (s *atasu) walk(pos int) {
+	if !s.opt.Deadline.IsZero() {
+		s.tick++
+		if s.tick&0x3fff == 0 && time.Now().After(s.opt.Deadline) {
+			s.stats.TimedOut = true
+			s.stopped = true
+		}
+	}
+	if s.stopped {
+		return
+	}
+	if pos == len(s.order) {
+		s.leaf()
+		return
+	}
+	v := s.order[pos]
+
+	// Inclusion branch (forbidden vertices and roots can only be excluded).
+	if !s.g.IsForbidden(v) {
+		isOut := s.g.IsLiveOut(v)
+		for _, w := range s.g.Succs(v) {
+			if s.state[w] != included {
+				isOut = true
+				break
+			}
+		}
+		d := 0
+		if isOut {
+			d = 1
+		}
+		if s.outCount+d <= s.opt.MaxOutputs {
+			s.state[v] = included
+			s.S.Add(v)
+			s.inCount++
+			s.outCount += d
+			s.walk(pos + 1)
+			s.outCount -= d
+			s.inCount--
+			s.S.Remove(v)
+			s.state[v] = undecided
+		} else {
+			s.stats.SeedsPruned++
+		}
+	}
+	if s.stopped {
+		return
+	}
+
+	// Exclusion branch.
+	s.state[v] = excluded
+	s.walk(pos + 1)
+	s.state[v] = undecided
+}
+
+func (s *atasu) leaf() {
+	if s.inCount == 0 {
+		return
+	}
+	s.stats.Candidates++
+	var cut enum.Cut
+	if !s.val.Validate(s.S, &cut) {
+		s.stats.Invalid++
+		return
+	}
+	s.stats.Valid++
+	if s.opt.KeepCuts {
+		cut.Nodes = cut.Nodes.Clone()
+	}
+	if !s.visit(cut) {
+		s.stopped = true
+	}
+}
+
+// CollectAtasu runs AtasuSearch and returns all valid cuts sorted
+// deterministically.
+func CollectAtasu(g *dfg.Graph, opt enum.Options) ([]enum.Cut, enum.Stats) {
+	opt.KeepCuts = true
+	return enum.Collect(func(visit func(enum.Cut) bool) enum.Stats {
+		return AtasuSearch(g, opt, visit)
+	})
+}

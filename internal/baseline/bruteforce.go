@@ -1,0 +1,64 @@
+// Package baseline provides the comparison algorithms of §6: an exhaustive
+// brute force over all vertex subsets (the correctness oracle for small
+// graphs) and a faithful reimplementation of the Pozzi–Atasu–Ienne pruned
+// exhaustive search (reference [15]), the state-of-the-art exponential
+// algorithm the paper races against in figure 5.
+package baseline
+
+import (
+	"polyise/internal/bitset"
+	"polyise/internal/dfg"
+	"polyise/internal/enum"
+)
+
+// BruteForce enumerates every subset of the eligible vertices (at most 2^n
+// candidates) and validates each against the §3 problem statement. It is
+// the ground truth used by the test suite; usable only for small graphs.
+// The visitor may return false to stop early.
+func BruteForce(g *dfg.Graph, opt enum.Options, visit func(enum.Cut) bool) enum.Stats {
+	var stats enum.Stats
+	val := enum.NewValidator(g, opt)
+	n := g.N()
+	// Eligible vertices: anything not forbidden and not a root.
+	var elig []int
+	for v := 0; v < n; v++ {
+		if !g.IsForbidden(v) {
+			elig = append(elig, v)
+		}
+	}
+	if len(elig) > 30 {
+		panic("baseline: BruteForce limited to 30 eligible vertices")
+	}
+	S := bitset.New(n)
+	for mask := uint64(1); mask < 1<<uint(len(elig)); mask++ {
+		S.Clear()
+		for i, v := range elig {
+			if mask&(1<<uint(i)) != 0 {
+				S.Add(v)
+			}
+		}
+		stats.Candidates++
+		var cut enum.Cut
+		if !val.Validate(S, &cut) {
+			stats.Invalid++
+			continue
+		}
+		stats.Valid++
+		if opt.KeepCuts {
+			cut.Nodes = cut.Nodes.Clone()
+		}
+		if !visit(cut) {
+			return stats
+		}
+	}
+	return stats
+}
+
+// CollectBrute runs BruteForce and returns all valid cuts sorted
+// deterministically.
+func CollectBrute(g *dfg.Graph, opt enum.Options) ([]enum.Cut, enum.Stats) {
+	opt.KeepCuts = true
+	return enum.Collect(func(visit func(enum.Cut) bool) enum.Stats {
+		return BruteForce(g, opt, visit)
+	})
+}

@@ -1,0 +1,263 @@
+// Package bench measures the enumeration algorithms on workload corpora and
+// post-processes the results into the paper's figures: the figure 5 run-time
+// comparison and the polynomial-scaling fits backing the complexity claim.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"polyise/internal/baseline"
+	"polyise/internal/dfg"
+	"polyise/internal/enum"
+	"polyise/internal/workload"
+)
+
+// Algorithm selects which enumerator a measurement runs.
+type Algorithm int
+
+// The measurable algorithms.
+const (
+	AlgPoly      Algorithm = iota // the paper's incremental polynomial algorithm
+	AlgPruned                     // modernized [15]-style pruned exhaustive search
+	AlgBasicPoly                  // figure 2's basic polynomial algorithm
+	AlgAtasu                      // period-faithful [4]-style exhaustive search
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgPoly:
+		return "poly"
+	case AlgPruned:
+		return "pruned-exhaustive"
+	case AlgBasicPoly:
+		return "poly-basic"
+	case AlgAtasu:
+		return "atasu-2003"
+	}
+	return "unknown"
+}
+
+// Measurement is one (algorithm, block) data point.
+type Measurement struct {
+	Block     string
+	Cluster   string
+	N         int
+	Algorithm Algorithm
+	Cuts      int
+	Duration  time.Duration
+	TimedOut  bool
+}
+
+// Run measures one algorithm on one graph with a wall-clock budget (zero
+// means unbounded).
+func Run(alg Algorithm, g *dfg.Graph, opt enum.Options, budget time.Duration) Measurement {
+	opt.KeepCuts = false
+	if budget > 0 {
+		opt.Deadline = time.Now().Add(budget)
+	}
+	cuts := 0
+	count := func(enum.Cut) bool { cuts++; return true }
+	start := time.Now()
+	var stats enum.Stats
+	switch alg {
+	case AlgPoly:
+		stats = enum.Enumerate(g, opt, count)
+	case AlgPruned:
+		stats = baseline.PrunedSearch(g, opt, count)
+	case AlgBasicPoly:
+		stats = enum.EnumerateBasic(g, opt, count)
+	case AlgAtasu:
+		stats = baseline.AtasuSearch(g, opt, count)
+	}
+	return Measurement{
+		N:         g.N(),
+		Algorithm: alg,
+		Cuts:      cuts,
+		Duration:  time.Since(start),
+		TimedOut:  stats.TimedOut,
+	}
+}
+
+// ComparePoint is one figure 5 scatter point: the polynomial algorithm and
+// both exhaustive baselines on one block.
+type ComparePoint struct {
+	Block   string
+	Cluster string
+	N       int
+	Poly    Measurement
+	Pruned  Measurement // modernized [15]-style propagation
+	Atasu   Measurement // period-faithful [4]-style pruning
+}
+
+// SpeedupOfPoly returns how many times faster the polynomial algorithm was
+// than the period-faithful exhaustive search (>1 means the paper's
+// algorithm wins, matching points above figure 5's diagonal).
+func (p ComparePoint) SpeedupOfPoly() float64 {
+	if p.Poly.Duration <= 0 {
+		return math.Inf(1)
+	}
+	return float64(p.Atasu.Duration) / float64(p.Poly.Duration)
+}
+
+// SpeedupVsModern compares against the modernized [15]-style search.
+func (p ComparePoint) SpeedupVsModern() float64 {
+	if p.Poly.Duration <= 0 {
+		return math.Inf(1)
+	}
+	return float64(p.Pruned.Duration) / float64(p.Poly.Duration)
+}
+
+// CompareCorpus runs the three algorithms over a corpus with a per-run
+// budget.
+func CompareCorpus(blocks []workload.Block, opt enum.Options, budget time.Duration) []ComparePoint {
+	out := make([]ComparePoint, 0, len(blocks))
+	for _, b := range blocks {
+		poly := Run(AlgPoly, b.G, opt, budget)
+		pruned := Run(AlgPruned, b.G, opt, budget)
+		atasu := Run(AlgAtasu, b.G, opt, budget)
+		out = append(out, ComparePoint{
+			Block: b.Name, Cluster: b.Cluster, N: b.G.N(),
+			Poly: poly, Pruned: pruned, Atasu: atasu,
+		})
+	}
+	return out
+}
+
+// ClusterSummary aggregates figure 5 points per cluster.
+type ClusterSummary struct {
+	Cluster        string
+	Points         int
+	PolyWins       int // points above the diagonal (vs the [4]-style search)
+	MedianSpeedup  float64
+	PolyTimeouts   int
+	AtasuTimeouts  int
+	PrunedTimeouts int
+}
+
+// Summarize aggregates comparison points by cluster, in a stable order.
+func Summarize(points []ComparePoint) []ClusterSummary {
+	byCluster := map[string][]ComparePoint{}
+	var order []string
+	for _, p := range points {
+		if _, ok := byCluster[p.Cluster]; !ok {
+			order = append(order, p.Cluster)
+		}
+		byCluster[p.Cluster] = append(byCluster[p.Cluster], p)
+	}
+	var out []ClusterSummary
+	for _, c := range order {
+		ps := byCluster[c]
+		s := ClusterSummary{Cluster: c, Points: len(ps)}
+		speedups := make([]float64, 0, len(ps))
+		for _, p := range ps {
+			if p.SpeedupOfPoly() > 1 {
+				s.PolyWins++
+			}
+			speedups = append(speedups, p.SpeedupOfPoly())
+			if p.Poly.TimedOut {
+				s.PolyTimeouts++
+			}
+			if p.Atasu.TimedOut {
+				s.AtasuTimeouts++
+			}
+			if p.Pruned.TimedOut {
+				s.PrunedTimeouts++
+			}
+		}
+		sort.Float64s(speedups)
+		s.MedianSpeedup = speedups[len(speedups)/2]
+		out = append(out, s)
+	}
+	return out
+}
+
+// WriteScatter prints the figure 5 data series: one line per block with the
+// run times of the polynomial algorithm (X axis), the period-faithful
+// exhaustive search (Y axis, the paper's comparison) and the modernized
+// propagation baseline.
+func WriteScatter(w io.Writer, points []ComparePoint) {
+	fmt.Fprintf(w, "# figure 5: run-time comparison, X=poly seconds, Y=atasu2003 seconds\n")
+	fmt.Fprintf(w, "%-22s %-10s %6s %12s %12s %12s %8s %s\n",
+		"block", "cluster", "n", "poly_s", "atasu03_s", "modern15_s", "speedup", "flags")
+	for _, p := range points {
+		flags := ""
+		if p.Poly.TimedOut {
+			flags += "poly-timeout "
+		}
+		if p.Atasu.TimedOut {
+			flags += "atasu-timeout "
+		}
+		if p.Pruned.TimedOut {
+			flags += "modern-timeout"
+		}
+		fmt.Fprintf(w, "%-22s %-10s %6d %12.6f %12.6f %12.6f %8.2f %s\n",
+			p.Block, p.Cluster, p.N,
+			p.Poly.Duration.Seconds(), p.Atasu.Duration.Seconds(),
+			p.Pruned.Duration.Seconds(), p.SpeedupOfPoly(), flags)
+	}
+}
+
+// WriteSummary prints per-cluster aggregates.
+func WriteSummary(w io.Writer, summaries []ClusterSummary) {
+	fmt.Fprintf(w, "%-10s %7s %9s %15s %13s %14s %15s\n",
+		"cluster", "points", "poly-wins", "median-speedup",
+		"poly-timeout", "atasu-timeout", "modern-timeout")
+	for _, s := range summaries {
+		fmt.Fprintf(w, "%-10s %7d %9d %15.2f %13d %14d %15d\n",
+			s.Cluster, s.Points, s.PolyWins, s.MedianSpeedup,
+			s.PolyTimeouts, s.AtasuTimeouts, s.PrunedTimeouts)
+	}
+}
+
+// FitPowerLaw fits y = c·x^k by least squares in log space and returns the
+// exponent k and coefficient c. Points with non-positive coordinates are
+// ignored. It backs the polynomial-complexity claim: measured exponents for
+// the enumeration must stay bounded by Nin+Nout+1.
+func FitPowerLaw(xs, ys []float64) (k, c float64) {
+	var sx, sy, sxx, sxy float64
+	n := 0.0
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			continue
+		}
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+		n++
+	}
+	if n < 2 {
+		return 0, 0
+	}
+	k = (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	c = math.Exp((sy - k*sx) / n)
+	return k, c
+}
+
+// GrowthExponent measures the scaling of one algorithm over a size sweep by
+// fitting run time against graph size.
+func GrowthExponent(alg Algorithm, sizes []int, seed int64, opt enum.Options, budget time.Duration) (k float64, points []Measurement) {
+	r := newRand(seed)
+	xs := make([]float64, 0, len(sizes))
+	ys := make([]float64, 0, len(sizes))
+	for _, n := range sizes {
+		g := workload.MiBenchLike(r, n, workload.DefaultProfile())
+		m := Run(alg, g, opt, budget)
+		points = append(points, m)
+		if !m.TimedOut {
+			xs = append(xs, float64(n))
+			ys = append(ys, m.Duration.Seconds())
+		}
+	}
+	k, _ = FitPowerLaw(xs, ys)
+	return k, points
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"polyise/internal/enum"
+	"polyise/internal/workload"
+)
+
+func TestFitPowerLaw(t *testing.T) {
+	// Perfect y = 3 x^2.5.
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Pow(x, 2.5)
+	}
+	k, c := FitPowerLaw(xs, ys)
+	if math.Abs(k-2.5) > 1e-9 || math.Abs(c-3) > 1e-9 {
+		t.Fatalf("fit = (%v, %v), want (2.5, 3)", k, c)
+	}
+	// Non-positive points ignored; degenerate input yields zeros.
+	k, c = FitPowerLaw([]float64{1, -1}, []float64{2, 3})
+	if k != 0 || c != 0 {
+		t.Fatalf("degenerate fit = (%v, %v)", k, c)
+	}
+}
+
+func TestRunCountsMatchAcrossAlgorithms(t *testing.T) {
+	blocks := workload.Corpus(11, workload.CorpusSpec{
+		Small: 3, TreeDepths: []int{4}, Profile: workload.DefaultProfile(),
+	})
+	opt := enum.DefaultOptions()
+	for _, b := range blocks {
+		poly := Run(AlgPoly, b.G, opt, 0)
+		pruned := Run(AlgPruned, b.G, opt, 0)
+		basic := Run(AlgBasicPoly, b.G, opt, 0)
+		atasu := Run(AlgAtasu, b.G, opt, 0)
+		if poly.Cuts != pruned.Cuts || poly.Cuts != basic.Cuts || poly.Cuts != atasu.Cuts {
+			t.Fatalf("%s: cut counts diverge: poly=%d pruned=%d basic=%d atasu=%d",
+				b.Name, poly.Cuts, pruned.Cuts, basic.Cuts, atasu.Cuts)
+		}
+		if poly.Duration <= 0 {
+			t.Fatalf("%s: non-positive duration", b.Name)
+		}
+	}
+}
+
+func TestBudgetTimesOut(t *testing.T) {
+	g := workload.Tree(7, 2) // 255-node tree: exhaustive search cannot finish fast
+	opt := enum.DefaultOptions()
+	m := Run(AlgPruned, g, opt, 30*time.Millisecond)
+	if !m.TimedOut {
+		t.Skip("machine finished the exhaustive tree search within 30ms; nothing to assert")
+	}
+	if m.Duration > 5*time.Second {
+		t.Fatalf("timeout not respected: ran %v", m.Duration)
+	}
+}
+
+func TestSummarizeAndWriters(t *testing.T) {
+	points := []ComparePoint{
+		{Block: "a", Cluster: "10-79", N: 20,
+			Poly:   Measurement{Duration: time.Millisecond},
+			Atasu:  Measurement{Duration: 10 * time.Millisecond},
+			Pruned: Measurement{Duration: 5 * time.Millisecond}},
+		{Block: "b", Cluster: "10-79", N: 30,
+			Poly:   Measurement{Duration: 4 * time.Millisecond},
+			Atasu:  Measurement{Duration: 2 * time.Millisecond},
+			Pruned: Measurement{Duration: time.Millisecond}},
+		{Block: "t", Cluster: "tree", N: 31,
+			Poly:   Measurement{Duration: time.Millisecond},
+			Atasu:  Measurement{Duration: time.Second, TimedOut: true},
+			Pruned: Measurement{Duration: time.Second, TimedOut: true}},
+	}
+	sums := Summarize(points)
+	if len(sums) != 2 {
+		t.Fatalf("clusters = %d", len(sums))
+	}
+	if sums[0].Cluster != "10-79" || sums[0].PolyWins != 1 || sums[0].Points != 2 {
+		t.Fatalf("summary[0] = %+v", sums[0])
+	}
+	if sums[1].AtasuTimeouts != 1 || sums[1].PrunedTimeouts != 1 {
+		t.Fatalf("summary[1] = %+v", sums[1])
+	}
+
+	var buf bytes.Buffer
+	WriteScatter(&buf, points)
+	out := buf.String()
+	if !strings.Contains(out, "atasu-timeout") || !strings.Contains(out, "figure 5") {
+		t.Fatalf("scatter output:\n%s", out)
+	}
+	buf.Reset()
+	WriteSummary(&buf, sums)
+	if !strings.Contains(buf.String(), "10-79") {
+		t.Fatalf("summary output:\n%s", buf.String())
+	}
+}
+
+func TestGrowthExponentSmoke(t *testing.T) {
+	opt := enum.DefaultOptions()
+	k, points := GrowthExponent(AlgPoly, []int{20, 40, 60}, 5, opt, 10*time.Second)
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// The exponent must be positive and bounded by the theoretical 7.
+	if k <= 0 || k > 7.5 {
+		t.Fatalf("implausible growth exponent %v", k)
+	}
+}

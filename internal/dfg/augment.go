@@ -1,0 +1,59 @@
+package dfg
+
+// The augmented graph of §3: the user DFG plus a virtual source that
+// precedes every Iext vertex and every user-forbidden vertex, and a virtual
+// sink that succeeds every Oext vertex. Dominators are computed on this
+// rooted graph; postdominators on its reverse. Connecting forbidden vertices
+// to the source encodes that any path through a forbidden node must be cut
+// at that node or later, since the node itself can never join a cut.
+
+// Aug is the cached augmented adjacency of a frozen Graph.
+type Aug struct {
+	N      int // total vertices: g.N() + 2
+	Source int // g.N()
+	Sink   int // g.N() + 1
+	Succs  [][]int32
+	Preds  [][]int32
+}
+
+// Augmented returns the augmented rooted graph. The result is computed once
+// per graph, cached, and must not be modified. The graph must be frozen.
+func (g *Graph) Augmented() *Aug {
+	if !g.frozen {
+		panic(ErrNotFrozen)
+	}
+	g.augOnce.Do(func() {
+		n := g.N()
+		a := &Aug{N: n + 2, Source: n, Sink: n + 1}
+		a.Succs = make([][]int32, n+2)
+		a.Preds = make([][]int32, n+2)
+		for v := 0; v < n; v++ {
+			sv := make([]int32, 0, len(g.succs[v])+1)
+			for _, s := range g.succs[v] {
+				sv = append(sv, int32(s))
+			}
+			if g.oext.Has(v) {
+				sv = append(sv, int32(a.Sink))
+			}
+			a.Succs[v] = sv
+			pv := make([]int32, 0, len(g.preds[v])+1)
+			for _, p := range g.preds[v] {
+				pv = append(pv, int32(p))
+			}
+			if g.iext.Has(v) || g.forb.Has(v) {
+				pv = append(pv, int32(a.Source))
+			}
+			a.Preds[v] = pv
+		}
+		for v := 0; v < n; v++ {
+			if g.iext.Has(v) || g.forb.Has(v) {
+				a.Succs[a.Source] = append(a.Succs[a.Source], int32(v))
+			}
+			if g.oext.Has(v) {
+				a.Preds[a.Sink] = append(a.Preds[a.Sink], int32(v))
+			}
+		}
+		g.aug = a
+	})
+	return g.aug
+}

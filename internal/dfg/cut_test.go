@@ -1,0 +1,188 @@
+package dfg
+
+import (
+	"reflect"
+	"testing"
+
+	"polyise/internal/bitset"
+)
+
+// ladder builds the graph used by most cut tests:
+//
+//	a    b    c      (roots 0,1,2)
+//	 \  / \  /
+//	  d    e         (3,4)
+//	   \  / \
+//	    f    g       (5,6)
+//	     \  /
+//	      h          (7, sink)
+func ladder(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	a := g.MustAddNode(OpVar, "a")
+	b := g.MustAddNode(OpVar, "b")
+	c := g.MustAddNode(OpVar, "c")
+	d := g.MustAddNode(OpAdd, "d", a, b)
+	e := g.MustAddNode(OpMul, "e", b, c)
+	f := g.MustAddNode(OpSub, "f", d, e)
+	gg := g.MustAddNode(OpXor, "g", e)
+	h := g.MustAddNode(OpOr, "h", f, gg)
+	_ = h
+	g.MustFreeze()
+	return g
+}
+
+func TestInputsOutputs(t *testing.T) {
+	g := ladder(t)
+	// S = {f, g}: inputs {d, e}, outputs {f, g}? f and g both feed h which is
+	// outside S, so both are outputs.
+	S := bitset.FromMembers(g.N(), 5, 6)
+	if want := []int{3, 4}; !reflect.DeepEqual(g.Inputs(S), want) {
+		t.Fatalf("Inputs = %v, want %v", g.Inputs(S), want)
+	}
+	if want := []int{5, 6}; !reflect.DeepEqual(g.Outputs(S), want) {
+		t.Fatalf("Outputs = %v, want %v", g.Outputs(S), want)
+	}
+	// S = {d, e, f, g, h}: inputs are the roots, single output h.
+	S = bitset.FromMembers(g.N(), 3, 4, 5, 6, 7)
+	if want := []int{0, 1, 2}; !reflect.DeepEqual(g.Inputs(S), want) {
+		t.Fatalf("Inputs = %v, want %v", g.Inputs(S), want)
+	}
+	if want := []int{7}; !reflect.DeepEqual(g.Outputs(S), want) {
+		t.Fatalf("Outputs = %v, want %v", g.Outputs(S), want)
+	}
+}
+
+func TestOextMembersAreAlwaysOutputs(t *testing.T) {
+	g := New()
+	a := g.MustAddNode(OpVar, "a")
+	b := g.MustAddNode(OpAdd, "b", a, a)
+	c := g.MustAddNode(OpMul, "c", b, b)
+	_ = c
+	if err := g.MarkLiveOut(b); err != nil {
+		t.Fatal(err)
+	}
+	g.MustFreeze()
+	// S = {b, c}: c is a structural sink; b is live-out, so even with its only
+	// structural successor inside S it must be an output.
+	S := bitset.FromMembers(g.N(), b, c)
+	if want := []int{b, c}; !reflect.DeepEqual(g.Outputs(S), want) {
+		t.Fatalf("Outputs = %v, want %v", g.Outputs(S), want)
+	}
+}
+
+func TestIsConvex(t *testing.T) {
+	g := ladder(t)
+	cases := []struct {
+		members []int
+		want    bool
+	}{
+		{[]int{5, 6}, true},
+		{[]int{3, 4, 5, 6, 7}, true},
+		{[]int{4, 7}, false},    // path e→f→h and e→g→h leave and re-enter
+		{[]int{3, 5}, true},     // d→f direct edge, convex
+		{[]int{3, 7}, false},    // d→f→h with f outside
+		{[]int{4}, true},        // singleton always convex
+		{[]int{}, true},         // empty cut trivially convex
+		{[]int{3, 4, 6}, true},  // d, e, g: no path between them leaves the set
+		{[]int{4, 5, 6}, false}, // e→f needs d? no: e→f is a direct edge... see below
+	}
+	// Correction for the last case: {e,f,g} — e→f and e→g are direct edges,
+	// and no path leaves and re-enters, so it IS convex.
+	cases[len(cases)-1].want = true
+	for _, c := range cases {
+		S := bitset.FromMembers(g.N(), c.members...)
+		if got := g.IsConvex(S); got != c.want {
+			t.Errorf("IsConvex(%v) = %v, want %v", c.members, got, c.want)
+		}
+	}
+}
+
+func TestIsConnectedCut(t *testing.T) {
+	g := ladder(t)
+	// {f, g}: outputs f and g, shared input e reaches both → connected.
+	if !g.IsConnectedCut(bitset.FromMembers(g.N(), 5, 6)) {
+		t.Error("{f,g} should be connected (shared input e)")
+	}
+	// {d, g}: outputs d and g; inputs {a, b, e}. b reaches g only through
+	// input e, so in the strict (theorem 1) sense b is not an input to g;
+	// d's inputs {a, b} and g's input {e} share nothing → disconnected.
+	if g.IsConnectedCut(bitset.FromMembers(g.N(), 3, 6)) {
+		t.Error("{d,g} should be disconnected: no shared private input")
+	}
+	// Build a graph with two independent components to get a disconnected cut.
+	g2 := New()
+	x := g2.MustAddNode(OpVar, "x")
+	y := g2.MustAddNode(OpVar, "y")
+	p := g2.MustAddNode(OpAdd, "p", x, x)
+	q := g2.MustAddNode(OpMul, "q", y, y)
+	g2.MustFreeze()
+	S := bitset.FromMembers(g2.N(), p, q)
+	if g2.IsConnectedCut(S) {
+		t.Error("{p,q} with disjoint inputs should not be connected")
+	}
+	if !g2.IsConnectedCut(bitset.FromMembers(g2.N(), p)) {
+		t.Error("single-output cut is connected by definition")
+	}
+}
+
+func TestTechnicalCondition(t *testing.T) {
+	g := ladder(t)
+	// S = {f}: inputs d and e; both have private paths (root→d→f avoids e,
+	// root→e→f avoids d) → holds.
+	if !g.TechnicalConditionHolds(bitset.FromMembers(g.N(), 5)) {
+		t.Error("technical condition should hold for {f}")
+	}
+	// Chain where one input can only be reached through the other:
+	// a → p → q → r, S = {r} with inputs... p and q are chained; I({r}) = {q}
+	// only, so the condition trivially holds. Build the paper's situation
+	// instead: inputs {p, q} for S = {q's successor} cannot happen unless q
+	// has another pred. Construct:
+	//   a → p → q,  a → q  (q has preds p and a),  q → r
+	//   S = {r}: I = {q}. S = {q, r}: I = {p, a}; path root→a→q avoids p? a is
+	//   a root, yes. p's private path: root→a... a is an input too. p is only
+	//   reachable via a. So every path to p passes input a → condition fails
+	//   for input p? Wait p's paths: root→a→p. contains input a → no private
+	//   path for p... but a is also an input of S. So the condition fails.
+	g2 := New()
+	a := g2.MustAddNode(OpVar, "a")
+	p := g2.MustAddNode(OpNot, "p", a)
+	q := g2.MustAddNode(OpAdd, "q", p, a)
+	r := g2.MustAddNode(OpNeg, "r", q)
+	_ = r
+	g2.MustFreeze()
+	S := bitset.FromMembers(g2.N(), q, r)
+	if got := g2.Inputs(S); !reflect.DeepEqual(got, []int{a, p}) {
+		t.Fatalf("Inputs = %v, want [%d %d]", got, a, p)
+	}
+	if g2.TechnicalConditionHolds(S) {
+		t.Error("condition should fail: every root→p path passes input a")
+	}
+	// And the cut S ∪ {p} that the paper says recovers it does satisfy it.
+	S2 := bitset.FromMembers(g2.N(), p, q, r)
+	if !g2.TechnicalConditionHolds(S2) {
+		t.Error("condition should hold for S ∪ {p}")
+	}
+}
+
+func TestTechnicalConditionSingleInput(t *testing.T) {
+	g := ladder(t)
+	// Cuts with ≤1 input trivially satisfy the condition.
+	if !g.TechnicalConditionHolds(bitset.FromMembers(g.N(), 6)) { // {g}: input {e}
+		t.Error("single-input cut must satisfy the condition")
+	}
+	if !g.TechnicalConditionHolds(bitset.New(g.N())) {
+		t.Error("empty cut must satisfy the condition")
+	}
+}
+
+func TestInputsOutputsEmptyCut(t *testing.T) {
+	g := ladder(t)
+	S := bitset.New(g.N())
+	if got := g.Inputs(S); len(got) != 0 {
+		t.Fatalf("Inputs(∅) = %v", got)
+	}
+	if got := g.Outputs(S); len(got) != 0 {
+		t.Fatalf("Outputs(∅) = %v", got)
+	}
+}

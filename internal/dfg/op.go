@@ -1,0 +1,123 @@
+package dfg
+
+// Op identifies the operation computed by a data-flow graph node. The set of
+// operations mirrors what a compiler front end for an embedded RISC target
+// emits inside a basic block: integer arithmetic, logic, shifts, comparisons,
+// selects and memory accesses. Memory operations are the canonical
+// user-forbidden nodes of the paper (§3): a custom functional unit without a
+// memory port cannot execute them, though they may still feed a cut as
+// inputs.
+type Op uint8
+
+// Operation kinds.
+const (
+	OpInvalid Op = iota
+	OpVar        // live-in variable (basic-block input, a root of the DFG)
+	OpConst      // literal constant
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpNot
+	OpNeg
+	OpShl
+	OpShr
+	OpSar // arithmetic shift right
+	OpCmpEQ
+	OpCmpNE
+	OpCmpLT
+	OpCmpLE
+	OpSelect // ternary select c ? a : b
+	OpMin
+	OpMax
+	OpAbs
+	OpLoad  // memory read; typically forbidden
+	OpStore // memory write; typically forbidden
+	OpCall  // opaque call; always treated as forbidden by convention
+
+	// OpCustom is a custom instruction created by collapsing a cut
+	// (CollapseCut); its const payload records the instruction's latency in
+	// cycles. Custom nodes are implicitly forbidden: an already-selected
+	// instruction does not join further cuts.
+	OpCustom
+	// OpExtract selects one result of a multi-output OpCustom; its const
+	// payload is the result index.
+	OpExtract
+	numOps
+)
+
+var opNames = [...]string{
+	OpInvalid: "invalid",
+	OpVar:     "var",
+	OpConst:   "const",
+	OpAdd:     "add",
+	OpSub:     "sub",
+	OpMul:     "mul",
+	OpDiv:     "div",
+	OpRem:     "rem",
+	OpAnd:     "and",
+	OpOr:      "or",
+	OpXor:     "xor",
+	OpNot:     "not",
+	OpNeg:     "neg",
+	OpShl:     "shl",
+	OpShr:     "shr",
+	OpSar:     "sar",
+	OpCmpEQ:   "cmpeq",
+	OpCmpNE:   "cmpne",
+	OpCmpLT:   "cmplt",
+	OpCmpLE:   "cmple",
+	OpSelect:  "select",
+	OpMin:     "min",
+	OpMax:     "max",
+	OpAbs:     "abs",
+	OpLoad:    "load",
+	OpStore:   "store",
+	OpCall:    "call",
+	OpCustom:  "custom",
+	OpExtract: "extract",
+}
+
+// String returns the lower-case mnemonic for the operation.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// Valid reports whether o is a known operation kind.
+func (o Op) Valid() bool { return o > OpInvalid && o < numOps }
+
+// IsMemory reports whether the operation accesses memory.
+func (o Op) IsMemory() bool { return o == OpLoad || o == OpStore }
+
+// Arity returns the expected number of operands, or -1 if variable.
+func (o Op) Arity() int {
+	switch o {
+	case OpVar, OpConst:
+		return 0
+	case OpNot, OpNeg, OpAbs, OpLoad, OpExtract:
+		return 1
+	case OpSelect:
+		return 3
+	case OpCall, OpCustom:
+		return -1
+	default:
+		return 2
+	}
+}
+
+// OpFromName returns the Op with the given mnemonic, or OpInvalid.
+func OpFromName(name string) Op {
+	for i, n := range opNames {
+		if n == name && Op(i).Valid() {
+			return Op(i)
+		}
+	}
+	return OpInvalid
+}

@@ -1,0 +1,264 @@
+package dfg
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"polyise/internal/bitset"
+)
+
+// macGraph: m1 = a*b, m2 = c*d, s = m1+m2, t = s+e.
+func macGraph(t testing.TB) *Graph {
+	t.Helper()
+	g := New()
+	g.MustAddNode(OpVar, "a")
+	g.MustAddNode(OpVar, "b")
+	g.MustAddNode(OpVar, "c")
+	g.MustAddNode(OpVar, "d")
+	g.MustAddNode(OpVar, "e")
+	g.MustAddNode(OpMul, "m1", 0, 1)
+	g.MustAddNode(OpMul, "m2", 2, 3)
+	g.MustAddNode(OpAdd, "s", 5, 6)
+	g.MustAddNode(OpAdd, "t", 7, 4)
+	g.MustFreeze()
+	return g
+}
+
+func TestExtractCut(t *testing.T) {
+	g := macGraph(t)
+	S := bitset.FromMembers(g.N(), 5, 6, 7) // m1, m2, s
+	ex, mapping, err := g.ExtractCut(S)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 inputs (a..d) + 3 ops.
+	if ex.N() != 7 {
+		t.Fatalf("extracted n = %d, want 7", ex.N())
+	}
+	if len(ex.Roots()) != 4 {
+		t.Fatalf("roots = %v", ex.Roots())
+	}
+	if want := []int{mapping[7]}; !reflect.DeepEqual(ex.Oext(), want) {
+		t.Fatalf("outputs = %v, want %v", ex.Oext(), want)
+	}
+	if ex.Op(mapping[7]) != OpAdd || ex.Name(mapping[7]) != "s" {
+		t.Fatal("output op mangled")
+	}
+	// Input names survive.
+	names := map[string]bool{}
+	for _, r := range ex.Roots() {
+		names[ex.Name(r)] = true
+	}
+	for _, want := range []string{"a", "b", "c", "d"} {
+		if !names[want] {
+			t.Fatalf("missing input %q in %v", want, names)
+		}
+	}
+}
+
+func TestExtractCutConstInput(t *testing.T) {
+	g := New()
+	a := g.MustAddNode(OpVar, "a")
+	k := g.MustAddNode(OpConst, "")
+	if err := g.SetConst(k, 7); err != nil {
+		t.Fatal(err)
+	}
+	x := g.MustAddNode(OpAdd, "x", a, k)
+	g.MustFreeze()
+	ex, mapping, err := g.ExtractCut(bitset.FromMembers(g.N(), x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundConst := false
+	for v := 0; v < ex.N(); v++ {
+		if ex.Op(v) == OpConst && ex.ConstValue(v) == 7 {
+			foundConst = true
+		}
+	}
+	if !foundConst {
+		t.Fatal("constant input lost")
+	}
+	_ = mapping
+}
+
+func TestExtractCutErrors(t *testing.T) {
+	g := macGraph(t)
+	if _, _, err := g.ExtractCut(bitset.New(g.N())); err == nil {
+		t.Fatal("empty cut accepted")
+	}
+	unfrozen := New()
+	unfrozen.MustAddNode(OpVar, "a")
+	if _, _, err := unfrozen.ExtractCut(bitset.FromMembers(1, 0)); err == nil {
+		t.Fatal("unfrozen graph accepted")
+	}
+}
+
+func TestCollapseSingleOutput(t *testing.T) {
+	g := macGraph(t)
+	S := bitset.FromMembers(g.N(), 5, 6, 7) // m1,m2,s → one output s
+	ng, mapping, err := g.CollapseCut(S, "mac3", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9 - 3 + 1 = 7 nodes.
+	if ng.N() != 7 {
+		t.Fatalf("n = %d, want 7", ng.N())
+	}
+	var custom int = -1
+	for v := 0; v < ng.N(); v++ {
+		if ng.Op(v) == OpCustom {
+			custom = v
+		}
+	}
+	if custom < 0 {
+		t.Fatal("no custom node")
+	}
+	if ng.ConstValue(custom) != 2 {
+		t.Fatalf("latency payload = %d, want 2", ng.ConstValue(custom))
+	}
+	if len(ng.Preds(custom)) != 4 {
+		t.Fatalf("custom preds = %v, want 4 inputs", ng.Preds(custom))
+	}
+	if !ng.IsUserForbidden(custom) {
+		t.Fatal("custom node must be forbidden")
+	}
+	// t must now consume the custom node.
+	nt := mapping[8]
+	if ng.Op(nt) != OpAdd {
+		t.Fatal("t mangled")
+	}
+	foundCustomPred := false
+	for _, p := range ng.Preds(nt) {
+		if p == custom {
+			foundCustomPred = true
+		}
+	}
+	if !foundCustomPred {
+		t.Fatalf("t's preds %v do not include custom %d", ng.Preds(nt), custom)
+	}
+}
+
+func TestCollapseMultiOutput(t *testing.T) {
+	// m1 and m2 both feed s, but also are live-out individually.
+	g := New()
+	g.MustAddNode(OpVar, "a")
+	g.MustAddNode(OpVar, "b")
+	m1 := g.MustAddNode(OpMul, "m1", 0, 1)
+	m2 := g.MustAddNode(OpXor, "m2", 0, 1)
+	s := g.MustAddNode(OpAdd, "s", m1, m2)
+	_ = s
+	g.MustFreeze()
+	S := bitset.FromMembers(g.N(), m1, m2)
+	ng, _, err := g.CollapseCut(S, "pair", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 - 2 + 1 + 2 extracts = 6.
+	if ng.N() != 6 {
+		t.Fatalf("n = %d, want 6", ng.N())
+	}
+	extracts := 0
+	for v := 0; v < ng.N(); v++ {
+		if ng.Op(v) == OpExtract {
+			extracts++
+			if len(ng.Preds(v)) != 1 || ng.Op(ng.Preds(v)[0]) != OpCustom {
+				t.Fatal("extract not fed by custom")
+			}
+		}
+	}
+	if extracts != 2 {
+		t.Fatalf("extracts = %d, want 2", extracts)
+	}
+}
+
+func TestCollapseInterleavedTopology(t *testing.T) {
+	// Regression for the emission-order pitfall: input arrives
+	// topologically after the first cut member, and an output consumer sits
+	// between them: S = {x, y} with x→y, extra input a→y, consumer c of x.
+	g := New()
+	r := g.MustAddNode(OpVar, "r")
+	x := g.MustAddNode(OpNot, "x", r)
+	c := g.MustAddNode(OpNeg, "c", x)
+	a := g.MustAddNode(OpVar, "a")
+	y := g.MustAddNode(OpAdd, "y", x, a)
+	_, _ = c, y
+	g.MustFreeze()
+	S := bitset.FromMembers(g.N(), x, y)
+	ng, _, err := g.CollapseCut(S, "xy", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng.N() != 4+2 { // r, a, c, custom, 2 extracts
+		t.Fatalf("n = %d, want 6", ng.N())
+	}
+}
+
+func TestCollapseRejectsNonConvex(t *testing.T) {
+	g := macGraph(t)
+	// {m1, t} is not convex (path m1→s→t with s outside).
+	S := bitset.FromMembers(g.N(), 5, 8)
+	if _, _, err := g.CollapseCut(S, "bad", 1); err == nil {
+		t.Fatal("non-convex cut accepted")
+	}
+}
+
+func TestQuickCollapsePreservesSurvivors(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := New()
+		n := 6 + r.Intn(20)
+		for i := 0; i < n; i++ {
+			if i == 0 || r.Intn(4) == 0 {
+				g.MustAddNode(OpVar, "")
+				continue
+			}
+			g.MustAddNode(OpAdd, "", r.Intn(i), r.Intn(i))
+		}
+		g.MustFreeze()
+		// Random convex cut: take a node and some of its ancestors' closure.
+		v := r.Intn(n)
+		if g.IsRoot(v) {
+			return true
+		}
+		S := bitset.FromMembers(n, v)
+		for _, p := range g.Preds(v) {
+			if !g.IsRoot(p) && r.Intn(2) == 0 {
+				// Include p and everything between p and v.
+				S.Add(p)
+			}
+		}
+		// Close under betweenness to ensure convexity.
+		for x := 0; x < n; x++ {
+			if !S.Has(x) && g.ReachTo(x).Intersects(S) && g.ReachFrom(x).Intersects(S) {
+				S.Add(x)
+			}
+		}
+		if !g.IsConvex(S) || S.Intersects(g.RootSet()) {
+			return true
+		}
+		ng, mapping, err := g.CollapseCut(S, "c", 1)
+		if err != nil {
+			t.Logf("seed=%d: %v", seed, err)
+			return false
+		}
+		// Every survivor keeps its op and name.
+		for orig, nid := range mapping {
+			if g.Op(orig) != ng.Op(nid) || g.Name(orig) != ng.Name(nid) {
+				return false
+			}
+		}
+		// Exactly one custom node exists.
+		customs := 0
+		for x := 0; x < ng.N(); x++ {
+			if ng.Op(x) == OpCustom {
+				customs++
+			}
+		}
+		return customs == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,311 @@
+package domtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"polyise/internal/bitset"
+	"polyise/internal/dfg"
+)
+
+// adjacency builds succ/pred lists from an edge list.
+func adjacency(n int, edges [][2]int) (succs, preds [][]int32) {
+	succs = make([][]int32, n)
+	preds = make([][]int32, n)
+	for _, e := range edges {
+		succs[e[0]] = append(succs[e[0]], int32(e[1]))
+		preds[e[1]] = append(preds[e[1]], int32(e[0]))
+	}
+	return
+}
+
+// bruteDominates is the oracle: a dominates v iff v is unreachable from root
+// when a is removed (and v is reachable at all). Reflexive.
+func bruteDominates(n, root int, succs [][]int32, blocked *bitset.Set, a, v int) bool {
+	reach := func(skip int) []bool {
+		seen := make([]bool, n)
+		if root == skip || (blocked != nil && blocked.Has(root)) {
+			return seen
+		}
+		stack := []int{root}
+		seen[root] = true
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, s := range succs[x] {
+				si := int(s)
+				if si == skip || seen[si] || (blocked != nil && blocked.Has(si)) {
+					continue
+				}
+				seen[si] = true
+				stack = append(stack, si)
+			}
+		}
+		return seen
+	}
+	if !reach(-1)[v] {
+		return false
+	}
+	if a == v {
+		return true
+	}
+	return !reach(a)[v]
+}
+
+func TestLinearChain(t *testing.T) {
+	// 0→1→2→3: idom(i) = i-1.
+	succs, preds := adjacency(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	s := NewSolver(4, 0, succs, preds)
+	s.Run(nil)
+	want := []int{-1, 0, 1, 2}
+	for v, w := range want {
+		if s.IDom(v) != w {
+			t.Errorf("IDom(%d) = %d, want %d", v, s.IDom(v), w)
+		}
+	}
+}
+
+func TestDiamond(t *testing.T) {
+	// 0→{1,2}→3: idom(3) = 0.
+	succs, preds := adjacency(4, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	s := NewSolver(4, 0, succs, preds)
+	s.Run(nil)
+	if s.IDom(1) != 0 || s.IDom(2) != 0 || s.IDom(3) != 0 {
+		t.Fatalf("diamond idoms = %d %d %d, want 0 0 0", s.IDom(1), s.IDom(2), s.IDom(3))
+	}
+}
+
+func TestClassicLengauerTarjanGraph(t *testing.T) {
+	// The example from the Lengauer–Tarjan paper (13 vertices). Vertices:
+	// R=0 A=1 B=2 C=3 D=4 E=5 F=6 G=7 H=8 I=9 J=10 K=11 L=12
+	edges := [][2]int{
+		{0, 1}, {0, 2}, {0, 3},
+		{1, 4}, {2, 1}, {2, 4}, {2, 5},
+		{3, 6}, {3, 7}, {4, 12}, {5, 8},
+		{6, 9}, {7, 9}, {7, 10}, {8, 5}, {8, 11},
+		{9, 11}, {10, 9}, {11, 9}, {11, 0}, {12, 8},
+	}
+	succs, preds := adjacency(13, edges)
+	s := NewSolver(13, 0, succs, preds)
+	s.Run(nil)
+	// Known immediate dominators for this graph (root R).
+	want := map[int]int{
+		1: 0, 2: 0, 3: 0, 4: 0, 5: 0, 6: 3, 7: 3,
+		8: 0, 9: 0, 10: 7, 11: 0, 12: 4,
+	}
+	for v, w := range want {
+		if s.IDom(v) != w {
+			t.Errorf("IDom(%d) = %d, want %d", v, s.IDom(v), w)
+		}
+	}
+}
+
+func TestUnreachableAndBlocked(t *testing.T) {
+	// 0→1, 2→1 where 2 is unreachable from 0.
+	succs, preds := adjacency(3, [][2]int{{0, 1}, {2, 1}})
+	s := NewSolver(3, 0, succs, preds)
+	n := s.Run(nil)
+	if n != 2 {
+		t.Fatalf("reached = %d, want 2", n)
+	}
+	if s.Reachable(2) || s.IDom(2) != -1 {
+		t.Error("vertex 2 should be unreachable")
+	}
+	// Diamond with 1 blocked: idom(3) = 2.
+	succs, preds = adjacency(4, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	s = NewSolver(4, 0, succs, preds)
+	s.Run(bitset.FromMembers(4, 1))
+	if s.IDom(3) != 2 {
+		t.Fatalf("blocked diamond IDom(3) = %d, want 2", s.IDom(3))
+	}
+	if s.Reachable(1) {
+		t.Error("blocked vertex reported reachable")
+	}
+	// Blocking the root reaches nothing.
+	if got := s.Run(bitset.FromMembers(4, 0)); got != 0 {
+		t.Fatalf("reached with blocked root = %d, want 0", got)
+	}
+}
+
+func TestSolverReuse(t *testing.T) {
+	succs, preds := adjacency(4, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	s := NewSolver(4, 0, succs, preds)
+	s.Run(bitset.FromMembers(4, 1))
+	if s.IDom(3) != 2 {
+		t.Fatalf("first run IDom(3) = %d, want 2", s.IDom(3))
+	}
+	s.Run(nil)
+	if s.IDom(3) != 0 {
+		t.Fatalf("second run IDom(3) = %d, want 0", s.IDom(3))
+	}
+	s.Run(bitset.FromMembers(4, 2))
+	if s.IDom(3) != 1 {
+		t.Fatalf("third run IDom(3) = %d, want 1", s.IDom(3))
+	}
+}
+
+func TestDominatesAndDominatorsOf(t *testing.T) {
+	succs, preds := adjacency(5, [][2]int{{0, 1}, {1, 2}, {1, 3}, {2, 4}, {3, 4}})
+	s := NewSolver(5, 0, succs, preds)
+	s.Run(nil)
+	if !s.Dominates(1, 4) || !s.Dominates(4, 4) || s.Dominates(2, 4) {
+		t.Error("Dominates answers wrong")
+	}
+	doms := s.DominatorsOf(4)
+	if len(doms) != 1 || doms[0] != 1 {
+		t.Fatalf("DominatorsOf(4) = %v, want [1]", doms)
+	}
+}
+
+func TestTreeQueries(t *testing.T) {
+	succs, preds := adjacency(6, [][2]int{
+		{0, 1}, {1, 2}, {1, 3}, {2, 4}, {3, 4}, {4, 5},
+	})
+	s := NewSolver(6, 0, succs, preds)
+	s.Run(nil)
+	tr := s.BuildTree()
+	if tr.Root() != 0 {
+		t.Fatalf("root = %d", tr.Root())
+	}
+	for a := 0; a < 6; a++ {
+		for v := 0; v < 6; v++ {
+			if got, want := tr.Dominates(a, v), s.Dominates(a, v); got != want {
+				t.Errorf("tree Dominates(%d,%d) = %v, solver says %v", a, v, got, want)
+			}
+		}
+	}
+	if !tr.StrictlyDominates(1, 5) || tr.StrictlyDominates(5, 5) {
+		t.Error("StrictlyDominates wrong")
+	}
+	var chain []int
+	tr.Walk(5, func(d int) bool { chain = append(chain, d); return true })
+	if len(chain) != 2 || chain[0] != 4 || chain[1] != 1 {
+		t.Fatalf("Walk(5) = %v, want [4 1]", chain)
+	}
+}
+
+func TestForwardReverseSolverOnDFG(t *testing.T) {
+	// ladder DFG: 3 roots, two middle layers, one sink.
+	g := dfg.New()
+	a := g.MustAddNode(dfg.OpVar, "a")
+	b := g.MustAddNode(dfg.OpVar, "b")
+	c := g.MustAddNode(dfg.OpVar, "c")
+	d := g.MustAddNode(dfg.OpAdd, "d", a, b)
+	e := g.MustAddNode(dfg.OpMul, "e", b, c)
+	f := g.MustAddNode(dfg.OpSub, "f", d, e)
+	h := g.MustAddNode(dfg.OpOr, "h", f, e)
+	_ = h
+	g.MustFreeze()
+	aug := g.Augmented()
+
+	fs := ForwardSolver(g)
+	fs.Run(nil)
+	// Every node is reachable from the source.
+	for v := 0; v < aug.N; v++ {
+		if !fs.Reachable(v) {
+			t.Errorf("forward: %d unreachable", v)
+		}
+	}
+	// d's only single dominator is the source (a and b are siblings).
+	if fs.IDom(d) != aug.Source {
+		t.Errorf("IDom(d) = %d, want source %d", fs.IDom(d), aug.Source)
+	}
+	// f is dominated by d? No: f's preds are d and e, so idom(f) = source.
+	if fs.IDom(f) != aug.Source {
+		t.Errorf("IDom(f) = %d, want source", fs.IDom(f))
+	}
+
+	rs := ReverseSolver(g)
+	rs.Run(nil)
+	// Every path from b (b→d→f→h, b→e→f→h, b→e→h) passes through h, so h
+	// postdominates b.
+	if rs.IDom(b) != h {
+		t.Errorf("postdom IDom(b) = %d, want h=%d", rs.IDom(b), h)
+	}
+	// h's immediate postdominator is the sink.
+	if rs.IDom(h) != aug.Sink {
+		t.Errorf("postdom IDom(h) = %d, want sink", rs.IDom(h))
+	}
+	// d's unique successor is f, so f postdominates d.
+	if rs.IDom(d) != f {
+		t.Errorf("postdom IDom(d) = %d, want f=%d", rs.IDom(d), f)
+	}
+}
+
+func randomDigraph(r *rand.Rand, n int) (succs, preds [][]int32) {
+	var edges [][2]int
+	for v := 1; v < n; v++ {
+		// Ensure likely reachability: edge from a random earlier vertex.
+		edges = append(edges, [2]int{r.Intn(v), v})
+	}
+	extra := r.Intn(2 * n)
+	for i := 0; i < extra; i++ {
+		a, b := r.Intn(n), r.Intn(n)
+		if a != b {
+			edges = append(edges, [2]int{a, b})
+		}
+	}
+	return adjacency(n, edges)
+}
+
+func TestQuickAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(24)
+		succs, preds := randomDigraph(r, n)
+		var blocked *bitset.Set
+		if r.Intn(2) == 0 {
+			blocked = bitset.New(n)
+			for i := 0; i < n/5; i++ {
+				v := r.Intn(n)
+				if v != 0 {
+					blocked.Add(v)
+				}
+			}
+		}
+		s := NewSolver(n, 0, succs, preds)
+		s.Run(blocked)
+		tr := s.BuildTree()
+		for a := 0; a < n; a++ {
+			for v := 0; v < n; v++ {
+				want := bruteDominates(n, 0, succs, blocked, a, v)
+				if s.Dominates(a, v) != want || tr.Dominates(a, v) != want {
+					t.Logf("seed=%d n=%d a=%d v=%d want=%v got=%v/%v",
+						seed, n, a, v, want, s.Dominates(a, v), tr.Dominates(a, v))
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSolverChain1000(b *testing.B) {
+	n := 1000
+	edges := make([][2]int, 0, n)
+	for v := 1; v < n; v++ {
+		edges = append(edges, [2]int{v - 1, v})
+	}
+	succs, preds := adjacency(n, edges)
+	s := NewSolver(n, 0, succs, preds)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run(nil)
+	}
+}
+
+func BenchmarkSolverRandom1000(b *testing.B) {
+	r := rand.New(rand.NewSource(42))
+	succs, preds := randomDigraph(r, 1000)
+	s := NewSolver(1000, 0, succs, preds)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run(nil)
+	}
+}

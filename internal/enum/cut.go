@@ -1,0 +1,134 @@
+package enum
+
+import (
+	"fmt"
+	"sort"
+
+	"polyise/internal/bitset"
+	"polyise/internal/dfg"
+)
+
+// Cut is a convex cut reported by the enumeration: the vertex set S together
+// with its derived inputs I(S) and outputs O(S).
+type Cut struct {
+	Nodes   *bitset.Set
+	Inputs  []int
+	Outputs []int
+}
+
+// String renders the cut compactly for logs and tests.
+func (c Cut) String() string {
+	return fmt.Sprintf("cut%v in=%v out=%v", c.Nodes.Members(), c.Inputs, c.Outputs)
+}
+
+// Clone returns an independent copy of the cut.
+func (c Cut) Clone() Cut {
+	in := make([]int, len(c.Inputs))
+	copy(in, c.Inputs)
+	out := make([]int, len(c.Outputs))
+	copy(out, c.Outputs)
+	return Cut{Nodes: c.Nodes.Clone(), Inputs: in, Outputs: out}
+}
+
+// Validator checks candidate vertex sets against the §3 problem statement.
+// It owns scratch storage, so it is cheap to call repeatedly but not safe
+// for concurrent use.
+type Validator struct {
+	g       *dfg.Graph
+	opt     Options
+	ins     *bitset.Set
+	outs    *bitset.Set
+	scratch *bitset.Set
+}
+
+// NewValidator creates a Validator for g under the given options.
+func NewValidator(g *dfg.Graph, opt Options) *Validator {
+	n := g.N()
+	return &Validator{
+		g:       g,
+		opt:     opt,
+		ins:     bitset.New(n),
+		outs:    bitset.New(n),
+		scratch: bitset.New(n),
+	}
+}
+
+// Validate reports whether S is a valid cut: non-empty, disjoint from F,
+// convex, within the input/output budgets, and satisfying the technical
+// condition, connectedness and depth limits the options request. On success
+// it fills cut with S's derived inputs and outputs (sharing the validator's
+// scratch sets unless the caller clones).
+func (v *Validator) Validate(S *bitset.Set, cut *Cut) bool {
+	g := v.g
+	if S.Empty() {
+		return false
+	}
+	if S.Intersects(g.ForbiddenSet()) || S.Intersects(g.RootSet()) {
+		return false
+	}
+	g.InputsInto(v.ins, S)
+	if v.ins.Count() > v.opt.MaxInputs {
+		return false
+	}
+	g.OutputsInto(v.outs, S)
+	if v.outs.Count() > v.opt.MaxOutputs {
+		return false
+	}
+	if !g.IsConvex(S) {
+		return false
+	}
+	if !g.TechnicalConditionHolds(S) {
+		return false
+	}
+	if v.opt.ConnectedOnly && !g.IsConnectedCut(S) {
+		return false
+	}
+	if v.opt.MaxDepth > 0 && internalDepth(g, S) > v.opt.MaxDepth {
+		return false
+	}
+	if cut != nil {
+		cut.Nodes = S
+		cut.Inputs = v.ins.Members()
+		cut.Outputs = v.outs.Members()
+	}
+	return true
+}
+
+// internalDepth returns the number of edges on the longest path that stays
+// inside S — the latency proxy used by the MaxDepth restriction.
+func internalDepth(g *dfg.Graph, S *bitset.Set) int {
+	depth := make(map[int]int, S.Count())
+	max := 0
+	for _, v := range g.Topo() {
+		if !S.Has(v) {
+			continue
+		}
+		d := 0
+		for _, p := range g.Preds(v) {
+			if S.Has(p) {
+				if dp := depth[p] + 1; dp > d {
+					d = dp
+				}
+			}
+		}
+		depth[v] = d
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Collect runs an enumeration function and gathers all cuts into a slice
+// sorted by their vertex-set signature, convenient for tests and tools.
+func Collect(run func(visit func(Cut) bool) Stats) ([]Cut, Stats) {
+	var cuts []Cut
+	stats := run(func(c Cut) bool {
+		cuts = append(cuts, c)
+		return true
+	})
+	sort.Slice(cuts, func(i, j int) bool {
+		return cuts[i].Nodes.Signature() < cuts[j].Nodes.Signature()
+	})
+	return cuts, stats
+}

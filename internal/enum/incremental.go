@@ -1,0 +1,699 @@
+package enum
+
+import (
+	"slices"
+	"time"
+
+	"polyise/internal/bitset"
+	"polyise/internal/dfg"
+	"polyise/internal/domtree"
+)
+
+// Enumerate is POLY-ENUM-INCR of figure 3: it chooses outputs and inputs
+// recursively, maintaining the cut S = (O ∪ ⋃_j B(I, o_j)) \ I of theorem 3
+// incrementally, and prunes the search with the techniques of §5.3. Input
+// selection follows Dubrova et al.: the chosen inputs act as the seed set,
+// and one Lengauer–Tarjan run on the graph minus the seeds yields every
+// vertex that completes a multiple-vertex dominator of the current output.
+//
+// One deliberate deviation from the paper: choosing a new input w may
+// *remove* vertices from S (w itself, and vertices that only lay on paths
+// through w), because theorem 3 subtracts the final input set. The paper
+// claims S only ever grows, but that discipline loses cuts whose inputs lie
+// inside an earlier B(I, o) — see the {d,g} example in the tests — so S is
+// rebuilt exactly after every input push and snapshotted per recursion
+// level.
+//
+// Every candidate S with at most Nout outputs (internal outputs included,
+// per the output–output pruning) is validated against the full §3 problem
+// statement and deduplicated, so the visitor sees each valid cut exactly
+// once. The visitor may return false to stop early.
+func Enumerate(g *dfg.Graph, opt Options, visit func(Cut) bool) Stats {
+	n := g.N()
+	e := &incEnum{
+		g:       g,
+		opt:     opt,
+		visit:   visit,
+		val:     NewValidator(g, opt),
+		seen:    make(map[[2]uint64]bool),
+		S:       bitset.New(n),
+		Iuser:   bitset.New(n),
+		outSet:  bitset.New(n),
+		scratch: bitset.New(n),
+		outTest: bitset.New(n),
+		front:   bitset.New(n),
+		diff:    make([]int32, n+1),
+	}
+	pds := domtree.ReverseSolver(g)
+	pds.Run(nil)
+	e.pdt = pds.BuildTree()
+
+	// Entry points of the augmented graph: the virtual source precedes
+	// every root and every forbidden vertex (§3).
+	for v := 0; v < n; v++ {
+		if g.IsRoot(v) || g.IsUserForbidden(v) {
+			e.entries = append(e.entries, v)
+		}
+	}
+
+	// Seed candidates are iterated deepest-first (reverse topological
+	// order), matching the paper's intent that the most immediate dominator
+	// seeds are met before their ancestors.
+	e.byDepth = make([]int, g.N())
+	copy(e.byDepth, g.Topo())
+	for i, j := 0, len(e.byDepth)-1; i < j; i, j = i+1, j-1 {
+		e.byDepth[i], e.byDepth[j] = e.byDepth[j], e.byDepth[i]
+	}
+
+	e.pickOutput(0, -1, opt.MaxInputs, opt.MaxOutputs)
+	return e.stats
+}
+
+type incEnum struct {
+	g     *dfg.Graph
+	opt   Options
+	visit func(Cut) bool
+	pdt   *domtree.Tree
+	val   *Validator
+	stats Stats
+	seen  map[[2]uint64]bool
+
+	S      *bitset.Set // current cut (user capacity)
+	Iuser  *bitset.Set // chosen inputs
+	Ilist  []int
+	outs   []int
+	outSet *bitset.Set
+
+	byDepth   []int               // vertices in reverse topological order
+	entries   []int               // roots ∪ user-forbidden: virtual-source successors
+	badInputs map[int]*bitset.Set // per-output forbidden-ancestor exclusions
+
+	snaps        []*bitset.Set // per-depth S snapshots
+	paths        []*bitset.Set // per-depth on-path sets
+	backs        []*bitset.Set // per-depth reaches-o sets
+	scratch      *bitset.Set
+	outTest      *bitset.Set
+	front        *bitset.Set // scratch: reachable from source avoiding I
+	diff         []int32     // scratch: crossing-count difference array
+	touched      []int32     // positions of diff to clear
+	bfsStack     []int
+	fs           *flowScratch
+	stopped      bool
+	deadlineTick uint32
+}
+
+// snap returns the snapshot buffer for recursion depth d.
+func (e *incEnum) snap(d int) *bitset.Set {
+	for len(e.snaps) <= d {
+		e.snaps = append(e.snaps, bitset.New(e.g.N()))
+	}
+	return e.snaps[d]
+}
+
+// pathBuf returns the on-path buffer for recursion depth d.
+func (e *incEnum) pathBuf(d int) *bitset.Set {
+	for len(e.paths) <= d {
+		e.paths = append(e.paths, bitset.New(e.g.N()))
+	}
+	return e.paths[d]
+}
+
+// backBuf returns the reaches-o buffer for recursion depth d.
+func (e *incEnum) backBuf(d int) *bitset.Set {
+	for len(e.backs) <= d {
+		e.backs = append(e.backs, bitset.New(e.g.N()))
+	}
+	return e.backs[d]
+}
+
+// analyzePaths analyses the reduced graph (the augmented graph minus the
+// chosen inputs) with respect to output o. It computes into back the set of
+// vertices that reach o avoiding the inputs, into onPath the set of
+// vertices lying on some source→o path avoiding the inputs, appends to
+// chain every vertex that dominates o in the reduced graph, and reports
+// whether o is reachable at all.
+//
+// pBack and pOnPath are the corresponding sets of the parent recursion
+// level (nil at the top): blocking one more input only ever shrinks them,
+// and every surviving source→o path lies inside the parent's onPath, so
+// both traversals can be confined to the parent sets. This makes deep seed
+// exploration cost proportional to the surviving path region rather than to
+// the whole ancestor cone.
+//
+// Dominators are found without running Lengauer–Tarjan: restricted to the
+// vertices on surviving paths, a vertex dominates o exactly when no
+// surviving edge "jumps over" its topological position, which one
+// difference-array sweep detects (every path must cross every topological
+// rank between source and o, and can do so silently only through an edge).
+func (e *incEnum) analyzePaths(o int, back, onPath, pBack, pOnPath *bitset.Set, chain []int) (bool, []int) {
+	g := e.g
+	cone := g.ReachTo(o)
+
+	// Backward reachability from o, avoiding I. Computed first because the
+	// caller's dead-seed test needs it even when o turns out separated.
+	back.Clear()
+	back.Add(o)
+	stack := append(e.bfsStack[:0], o)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range g.Preds(v) {
+			if back.Has(p) || e.Iuser.Has(p) || (pBack != nil && !pBack.Has(p)) {
+				continue
+			}
+			back.Add(p)
+			stack = append(stack, p)
+		}
+	}
+
+	// Forward reachability from the virtual source, avoiding I, restricted
+	// to o's ancestor cone (or the parent's surviving-path set, which every
+	// source→o path stays inside).
+	inScope := func(v int) bool {
+		if pOnPath != nil {
+			return v == o || pOnPath.Has(v)
+		}
+		return v == o || cone.Has(v)
+	}
+	front := e.front
+	front.Clear()
+	stack = stack[:0]
+	for _, r := range e.entries {
+		if inScope(r) && !e.Iuser.Has(r) {
+			front.Add(r)
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Succs(v) {
+			if front.Has(s) || e.Iuser.Has(s) || !inScope(s) {
+				continue
+			}
+			front.Add(s)
+			stack = append(stack, s)
+		}
+	}
+	e.bfsStack = stack
+	if !front.Has(o) {
+		return false, chain
+	}
+
+	onPath.Copy(front)
+	onPath.Intersect(back)
+
+	// Crossing-count sweep: every edge (a, b) between on-path vertices
+	// contributes +1 on positions strictly between its endpoints; virtual
+	// source edges to on-path entries contribute from position 0. A vertex
+	// on a surviving path dominates o iff its crossing count is zero. The
+	// sweep visits only positions where the count changes or an on-path
+	// vertex sits, so its cost follows the surviving-path region, not the
+	// whole topological span.
+	e.touched = e.touched[:0]
+	oPos := int32(g.TopoPos(o))
+	mark := func(p, d int32) {
+		if e.diff[p] == 0 {
+			e.touched = append(e.touched, p)
+		}
+		e.diff[p] += d
+	}
+	onPath.ForEach(func(v int) bool {
+		pv := int32(g.TopoPos(v))
+		if v != o {
+			e.touched = append(e.touched, pv) // candidate position
+		}
+		if g.IsRoot(v) || g.IsUserForbidden(v) {
+			mark(0, 1)
+			mark(pv, -1)
+		}
+		for _, s := range g.Succs(v) {
+			if onPath.Has(s) {
+				mark(pv+1, 1)
+				mark(int32(g.TopoPos(s)), -1)
+			}
+		}
+		return true
+	})
+	slices.Sort(e.touched)
+	sum := int32(0)
+	topo := g.Topo()
+	prev := int32(-1)
+	for _, p := range e.touched {
+		if p >= oPos {
+			break
+		}
+		if p != prev {
+			sum += e.diff[p]
+			prev = p
+			v := topo[p]
+			if sum == 0 && onPath.Has(v) {
+				chain = append(chain, v)
+			}
+		}
+	}
+	for _, p := range e.touched {
+		e.diff[p] = 0
+	}
+	return true, chain
+}
+
+// rebuildS recomputes the exact cut identified by the chosen outputs and
+// inputs: every vertex that reaches a chosen output along a path avoiding
+// the chosen inputs (theorems 2 and 3).
+func (e *incEnum) rebuildS() {
+	e.g.CutNodesInto(e.S, e.outs, e.Iuser)
+}
+
+// viable applies the §5.3 "pruning while building S" test, adapted to the
+// exact (non-monotone) maintenance of S: vertices leave S only when a new
+// input joins I, either because the vertex itself becomes the input or
+// because the input severs its last avoiding path. So with no input budget
+// left, a forbidden vertex (or implicitly forbidden root) inside S, or more
+// permanent outputs than Nout, is fatal; with budget remaining it merely
+// obligates at least one more input. (Stronger counting — one forced input
+// per offending vertex — would be unsound: a single well-placed input can
+// evict several vertices from S at once.)
+func (e *incEnum) viable(ninLeft int) bool {
+	if !e.opt.PruneWhileBuildingS {
+		return true
+	}
+	offending := e.S.Intersects(e.g.ForbiddenSet()) || e.S.Intersects(e.g.RootSet())
+	if !offending {
+		perm := 0
+		e.S.ForEach(func(v int) bool {
+			if e.permanentOutput(v) {
+				perm++
+				if perm > e.opt.MaxOutputs {
+					offending = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return !offending || ninLeft > 0
+}
+
+// permanentOutput reports whether v can never stop being an output once in
+// S: members of Oext always feed the virtual sink, and successors that are
+// forbidden can never join the cut.
+func (e *incEnum) permanentOutput(v int) bool {
+	if e.g.IsLiveOut(v) {
+		return true
+	}
+	for _, s := range e.g.Succs(v) {
+		if e.g.IsForbidden(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// pickOutput implements PICK-OUTPUT: choose the next output o, grow S by
+// {o} ∪ B(I, o), then hand over to input selection (which also covers the
+// "I already dominates o" branch of figure 3).
+//
+// lastTopo carries the topological position of the previously chosen output
+// when the output–output pruning is on: an ancestor has a smaller position,
+// so requiring strictly increasing positions makes the "skip ancestors of
+// selected outputs" rule free and canonicalizes the choice order.
+func (e *incEnum) pickOutput(depth, lastTopo, ninLeft, noutLeft int) {
+	if e.stopped || noutLeft <= 0 {
+		return
+	}
+	topo := e.g.Topo()
+	start := 0
+	if e.opt.PruneOutputOutput {
+		start = lastTopo + 1
+	}
+	saved := e.snap(depth)
+	saved.Copy(e.S)
+	for pos := start; pos < len(topo); pos++ {
+		if e.stopped {
+			return
+		}
+		o := topo[pos]
+		if !e.admissibleOutput(o) {
+			continue
+		}
+		// In connected-only mode every output after the first must be
+		// reachable from a chosen input (§5.3). The paper's companion rule —
+		// when internal outputs exceed Nout, only connected outputs need be
+		// tried — relies on S growing monotonically and is unsound under
+		// the exact cut maintenance used here (a later input can evict an
+		// internal output), so it is deliberately not applied.
+		if e.opt.ConnectedOnly && len(e.outs) > 0 && !e.reachableFromInput(o) {
+			continue
+		}
+		e.stats.OutputsTried++
+		e.outs = append(e.outs, o)
+		e.outSet.Add(o)
+		e.rebuildS()
+		if e.viable(ninLeft) {
+			e.pickInputs(depth+1, pos, o, ninLeft, noutLeft-1, 0, len(e.Ilist), nil, nil)
+		}
+		e.outSet.Remove(o)
+		e.outs = e.outs[:len(e.outs)-1]
+		e.S.Copy(saved)
+	}
+}
+
+// admissibleOutput filters output candidates: not forbidden, not a root,
+// not already in the cut or chosen, and not related by ancestry or
+// postdominance to a chosen output.
+func (e *incEnum) admissibleOutput(o int) bool {
+	if e.g.IsForbidden(o) || e.S.Has(o) || e.outSet.Has(o) || e.Iuser.Has(o) {
+		return false
+	}
+	for _, prev := range e.outs {
+		// Ancestors of chosen outputs end up inside the cut, so they never
+		// need to be chosen (§5.3, output–output pruning). The topological
+		// ordering already guarantees this when the pruning is on; check
+		// explicitly for the unpruned configuration.
+		if e.g.Reaches(o, prev) {
+			return false
+		}
+		if e.pdt.Dominates(prev, o) || e.pdt.Dominates(o, prev) {
+			return false
+		}
+	}
+	return true
+}
+
+// reachableFromInput reports whether some chosen input reaches o.
+func (e *incEnum) reachableFromInput(o int) bool {
+	for _, i := range e.Ilist {
+		if e.g.Reaches(i, o) {
+			return true
+		}
+	}
+	return false
+}
+
+// pickInputs implements PICK-INPUTS for output o: one reduced-graph
+// analysis either shows the chosen inputs already dominate o (condition 1)
+// — then the cut is checked — or yields every vertex w completing a
+// multiple-vertex dominator of o. Afterwards, if budget remains, the seed
+// set is extended with further ancestors of o.
+//
+// Seed candidates are restricted to vertices on a surviving source→o path:
+// blocking anything else leaves every path (and therefore every reduced
+// dominator found below) unchanged, so such seeds can only reproduce cuts
+// that the unextended seed set already generates.
+//
+// It reports whether any dominator completion (or full domination) was
+// found in this subtree, which drives the dominator–input pruning.
+//
+// phaseStart indexes the first entry of Ilist chosen during the current
+// output's phase: those seeds justify their membership through o, so each
+// must keep a surviving path to o (the paper's "quick dismissal" of seed
+// sets violating definition 5's condition 2). A branch whose seed went dead
+// reproduces only cuts that the branch without that seed generates.
+func (e *incEnum) pickInputs(depth, oTopo, o, ninLeft, noutLeft, seedStart, phaseStart int, pBack, pOnPath *bitset.Set) bool {
+	e.checkDeadline()
+	if e.stopped {
+		return false
+	}
+	e.stats.LTRuns++
+	onPath := e.pathBuf(depth)
+	back := e.backBuf(depth)
+	reachable, chain := e.analyzePaths(o, back, onPath, pBack, pOnPath, nil)
+	for _, v := range e.Ilist[phaseStart:] {
+		alive := false
+		for _, s := range e.g.Succs(v) {
+			if s == o || back.Has(s) {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			e.stats.SeedsPruned++
+			return false
+		}
+	}
+	if !reachable {
+		// I dominates o already (the PICK-OUTPUT "if I dominates o" branch;
+		// with seed recursion this also catches seed sets that complete the
+		// domination by themselves).
+		e.checkCut(depth, oTopo, ninLeft, noutLeft)
+		return true
+	}
+	if ninLeft <= 0 {
+		return false
+	}
+
+	found := false
+	saved := e.snap(depth)
+	saved.Copy(e.S)
+
+	// Completion step: every reduced-graph dominator of o extends I to a
+	// multiple-vertex dominator of o.
+	for _, u := range chain {
+		if e.stopped {
+			return found
+		}
+		if e.outSet.Has(u) {
+			continue // a chosen output cannot double as an input
+		}
+		if e.pruneInput(u, o) {
+			continue
+		}
+		found = true
+		e.pushInput(u)
+		e.rebuildS()
+		if e.viable(ninLeft - 1) {
+			e.checkCut(depth+1, oTopo, ninLeft-1, noutLeft)
+		}
+		e.popInput(u)
+		e.S.Copy(saved)
+	}
+
+	// Seed extension step: push another on-path ancestor of o and recurse.
+	if ninLeft > 1 {
+		// The budget-feasibility bound costs a few traversals, so it only
+		// runs where extension is actually expensive: at least one seed
+		// already chosen (the explosion lives in deep seed levels) and a
+		// surviving-path region big enough that iterating it blindly would
+		// cost more than the bound.
+		if e.opt.PruneInfeasibleBudget && len(e.Ilist) > phaseStart &&
+			onPath.Count() > 64 {
+			// Load the mandatory vertices of the current phase's seeds and
+			// bound the inputs any completion still needs (see flow.go).
+			fs := e.flow()
+			fs.uncut.Clear()
+			for _, v := range e.Ilist[phaseStart:] {
+				e.mandatoryInto(fs.mandBuf, v, o, back)
+				fs.uncut.Union(fs.mandBuf)
+			}
+			if e.completionFlowBound(o, onPath, ninLeft) > ninLeft {
+				e.stats.SeedsPruned++
+				return found
+			}
+		}
+		lastValid := -1
+		for idx := seedStart; idx < len(e.byDepth); idx++ {
+			if e.stopped {
+				return found
+			}
+			i := e.byDepth[idx]
+			if i == o || !onPath.Has(i) || e.outSet.Has(i) {
+				continue
+			}
+			if e.opt.PruneDominatorInput && lastValid >= 0 {
+				if e.g.IsForbidden(lastValid) {
+					// A forbidden seed cannot be replaced: stop extending
+					// this slot (§5.3, dominator–input pruning).
+					break
+				}
+				if !e.g.Reaches(i, lastValid) {
+					e.stats.SeedsPruned++
+					continue // replacements come from the seed's ancestors
+				}
+			}
+			if e.pruneSeed(i, o) {
+				continue
+			}
+			e.pushInput(i)
+			e.rebuildS()
+			sub := false
+			if e.viable(ninLeft - 1) {
+				sub = e.pickInputs(depth+1, oTopo, o, ninLeft-1, noutLeft, idx+1, phaseStart, back, onPath)
+			}
+			e.popInput(i)
+			e.S.Copy(saved)
+			if sub {
+				found = true
+				lastValid = i
+			}
+		}
+	}
+	return found
+}
+
+// pruneInput applies the §5.3 output–input prunings to a completion
+// candidate u for output o.
+func (e *incEnum) pruneInput(u, o int) bool {
+	if !e.opt.PruneOutputInput {
+		return false
+	}
+	// An input's private path to the output lies inside the cut after the
+	// input, so a forbidden-free u→o path must exist.
+	if !e.g.ReachesForbiddenFree(u, o) {
+		e.stats.SeedsPruned++
+		return true
+	}
+	if e.forcedInputsWith(u, o) > e.opt.MaxInputs {
+		e.stats.SeedsPruned++
+		return true
+	}
+	if e.opt.PruneForbiddenAncestors && e.badInputsFor(o).Has(u) {
+		e.stats.SeedsPruned++
+		return true
+	}
+	return false
+}
+
+// badInputsFor memoizes, per output, the paper's forbidden-ancestor input
+// exclusion (§5.3, approximate): the ancestors of every forbidden ancestor
+// of o. Used only when Options.PruneForbiddenAncestors is set.
+func (e *incEnum) badInputsFor(o int) *bitset.Set {
+	if s, ok := e.badInputs[o]; ok {
+		return s
+	}
+	bad := bitset.New(e.g.N())
+	e.g.ReachTo(o).ForEach(func(f int) bool {
+		if e.g.IsUserForbidden(f) {
+			bad.Union(e.g.ReachTo(f))
+		}
+		return true
+	})
+	if e.badInputs == nil {
+		e.badInputs = make(map[int]*bitset.Set)
+	}
+	e.badInputs[o] = bad
+	return bad
+}
+
+// forcedInputsWith lower-bounds |I(S)| for any cut that has v among its
+// inputs and o among its outputs: every forbidden direct predecessor of o
+// must be an input (it can neither join the cut nor be severed from o).
+func (e *incEnum) forcedInputsWith(v, o int) int {
+	fp := e.g.ForbiddenPreds(o)
+	n := fp.Count()
+	if !fp.Has(v) {
+		n++
+	}
+	return n
+}
+
+// pruneSeed applies the §5.3 input–input and output–input prunings to a
+// seed candidate i for output o.
+func (e *incEnum) pruneSeed(i, o int) bool {
+	if e.opt.PruneInputInput {
+		// Two inputs related by postdominance can never coexist in a valid
+		// cut under the technical condition (§5.3, input–input pruning).
+		for _, v := range e.Ilist {
+			if e.pdt.Dominates(i, v) || e.pdt.Dominates(v, i) {
+				e.stats.SeedsPruned++
+				return true
+			}
+		}
+	}
+	if e.opt.PruneOutputInput {
+		if !e.g.ReachesForbiddenFree(i, o) {
+			e.stats.SeedsPruned++
+			return true
+		}
+		if e.forcedInputsWith(i, o) > e.opt.MaxInputs {
+			e.stats.SeedsPruned++
+			return true
+		}
+	}
+	if e.opt.PruneForbiddenAncestors && e.badInputsFor(o).Has(i) {
+		e.stats.SeedsPruned++
+		return true
+	}
+	return false
+}
+
+func (e *incEnum) pushInput(w int) {
+	e.Iuser.Add(w)
+	e.Ilist = append(e.Ilist, w)
+}
+
+func (e *incEnum) popInput(w int) {
+	e.Iuser.Remove(w)
+	e.Ilist = e.Ilist[:len(e.Ilist)-1]
+}
+
+// checkDeadline aborts the search when Options.Deadline has passed; it is
+// sampled every few thousand candidate checks to keep the cost negligible.
+func (e *incEnum) checkDeadline() {
+	if e.opt.Deadline.IsZero() {
+		return
+	}
+	e.deadlineTick++
+	if e.deadlineTick&0x0fff != 0 {
+		return
+	}
+	if time.Now().After(e.opt.Deadline) {
+		e.stats.TimedOut = true
+		e.stopped = true
+	}
+}
+
+// checkCut implements CHECK-CUT: accept the current S when its real outputs
+// (internal ones included, per the output–output pruning) fit the budget,
+// then recurse into further output choices.
+func (e *incEnum) checkCut(depth, oTopo, ninLeft, noutLeft int) {
+	e.checkDeadline()
+	if e.stopped {
+		return
+	}
+	e.stats.Candidates++
+	e.g.OutputsInto(e.outTest, e.S)
+	realOuts := e.outTest.Count()
+	if realOuts <= e.opt.MaxOutputs && !e.S.Empty() && !e.S.Intersects(e.g.ForbiddenSet()) {
+		sig := e.S.Hash128()
+		if e.seen[sig] {
+			e.stats.Duplicates++
+		} else {
+			e.seen[sig] = true
+			var cut Cut
+			if e.val.Validate(e.S, &cut) {
+				e.stats.Valid++
+				if e.opt.KeepCuts {
+					cut.Nodes = cut.Nodes.Clone()
+				}
+				if !e.visit(cut) {
+					e.stopped = true
+					return
+				}
+			} else {
+				e.stats.Invalid++
+			}
+		}
+	}
+	if noutLeft > 0 {
+		e.pickOutput(depth+1, oTopo, ninLeft, noutLeft)
+	}
+}
+
+// CollectAll is a convenience wrapper running Enumerate and returning all
+// valid cuts sorted deterministically.
+func CollectAll(g *dfg.Graph, opt Options) ([]Cut, Stats) {
+	opt.KeepCuts = true
+	return Collect(func(visit func(Cut) bool) Stats {
+		return Enumerate(g, opt, visit)
+	})
+}
+
+// CollectBasic runs EnumerateBasic and returns all valid cuts sorted
+// deterministically.
+func CollectBasic(g *dfg.Graph, opt Options) ([]Cut, Stats) {
+	opt.KeepCuts = true
+	return Collect(func(visit func(Cut) bool) Stats {
+		return EnumerateBasic(g, opt, visit)
+	})
+}

@@ -1,0 +1,126 @@
+// Package enum implements the paper's core contribution: enumeration of all
+// convex cuts of a data-flow graph under input/output constraints in
+// polynomial time, O(n^(Nin+Nout+1)) (§5).
+//
+// Two algorithms are provided. EnumerateBasic is the straightforward
+// POLY-ENUM of figure 2: couple every admissible output set with every
+// generalized dominator of each output. Enumerate is the incremental
+// POLY-ENUM-INCR of figure 3, which builds the cut S while choosing inputs
+// and outputs, interleaves Dubrova-style seed-set exploration with
+// Lengauer–Tarjan runs on reduced graphs, and applies the pruning techniques
+// of §5.3. Both validate every candidate cut directly against the problem
+// statement of §3 and deduplicate by vertex-set signature, so pruning can
+// never produce an invalid cut; the test suite checks against brute force
+// that none are lost either.
+package enum
+
+import "time"
+
+// Options configures an enumeration run.
+//
+// Validity always includes the technical condition the paper adds in §3 —
+// every input needs a private root path into the cut avoiding all other
+// inputs. Theorems 2 and 3, on which the generation and several prunings
+// rest, hold under that condition; cuts it excludes are recoverable as
+// S ∪ {w} per the discussion in §3.
+type Options struct {
+	// MaxInputs is Nin, the register-file read ports available to a custom
+	// instruction (§3). Must be ≥ 1.
+	MaxInputs int
+	// MaxOutputs is Nout, the register-file write ports. Must be ≥ 1.
+	MaxOutputs int
+
+	// ConnectedOnly restricts the search to connected cuts (definition 4),
+	// the Yu–Mitra style restriction discussed in §2 and §5.3.
+	ConnectedOnly bool
+
+	// MaxDepth, when positive, rejects cuts whose internal critical path
+	// exceeds this many edges — the Configurable Compute Accelerator
+	// restriction mentioned in §5.3 (output–input pruning).
+	MaxDepth int
+
+	// Pruning toggles (§5.3). The first four are exact: they trade work for
+	// nothing and the set of enumerated cuts is unchanged. They are on by
+	// default.
+	PruneOutputOutput   bool // skip outputs that are ancestors of chosen ones
+	PruneInputInput     bool // skip seed pairs related by postdominance
+	PruneOutputInput    bool // forbidden-node path partitioning + lower bound
+	PruneWhileBuildingS bool // abort candidates as soon as S violates F/Nout
+	// PruneInfeasibleBudget bounds seed extension with a min-vertex-cut
+	// argument: completing the current output's dominator needs at least
+	// maxflow(source→output) further inputs, counted over surviving paths
+	// and with each already-chosen seed's mandatory vertices uncuttable
+	// (cutting one would make that seed redundant). Exact; this is what
+	// keeps the figure 4 tree family polynomial in practice.
+	PruneInfeasibleBudget bool
+
+	// PruneDominatorInput enables the paper's "simplified" dominator–input
+	// test (§5.3): after a seed yields a valid dominator, later candidates
+	// for the same slot are restricted to that seed's ancestors (and a
+	// forbidden seed ends the slot). Implemented literally, this test is NOT
+	// exact — it loses cuts whose dominators use an incomparable seed (the
+	// test suite demonstrates this) — so unlike the paper we keep it OFF by
+	// default and expose it only for the ablation study.
+	PruneDominatorInput bool
+
+	// PruneForbiddenAncestors enables the paper's aggressive form of the
+	// output–input pruning: "if a forbidden node w is an ancestor of v, w's
+	// ancestors will not be valid inputs to v" (§5.3). Taken literally this
+	// is NOT exact either — an input may reach the output both through a
+	// forbidden node and around it (the test suite demonstrates the loss) —
+	// but it is what makes thousand-node memory-heavy blocks tractable, so
+	// it ships as the opt-in "paper mode" used by the large-cluster
+	// benchmarks.
+	PruneForbiddenAncestors bool
+
+	// KeepCuts controls whether valid cuts are handed to the visitor with
+	// their node sets retained (cloned). When false the visitor receives a
+	// shared scratch cut that is only valid during the call.
+	KeepCuts bool
+
+	// Deadline, when non-zero, aborts the enumeration once the wall clock
+	// passes it; Stats.TimedOut reports the abort. The check runs every few
+	// thousand search steps, so overruns are small.
+	Deadline time.Time
+}
+
+// DefaultOptions returns the paper's standard configuration: Nin=4, Nout=2,
+// unrestricted latency and connectivity, technical condition required, all
+// prunings enabled.
+func DefaultOptions() Options {
+	return Options{
+		MaxInputs:             4,
+		MaxOutputs:            2,
+		PruneOutputOutput:     true,
+		PruneInputInput:       true,
+		PruneOutputInput:      true,
+		PruneWhileBuildingS:   true,
+		PruneInfeasibleBudget: true,
+		KeepCuts:              true,
+	}
+}
+
+// PaperOptions returns the configuration closest to the paper's own
+// implementation: the standard Nin=4/Nout=2 constraint with every §5.3
+// pruning enabled, including the two approximate ones
+// (PruneDominatorInput, PruneForbiddenAncestors). Enumeration under these
+// options is fast but may miss a small fraction of valid cuts;
+// EXPERIMENTS.md quantifies the loss.
+func PaperOptions() Options {
+	o := DefaultOptions()
+	o.PruneDominatorInput = true
+	o.PruneForbiddenAncestors = true
+	return o
+}
+
+// Stats reports the work an enumeration performed.
+type Stats struct {
+	Valid        int  // distinct valid cuts reported
+	Candidates   int  // candidate cuts submitted to validation
+	Duplicates   int  // candidates that repeated an already-seen vertex set
+	Invalid      int  // candidates that failed validation
+	LTRuns       int  // reduced-graph dominator analyses performed
+	SeedsPruned  int  // seed vertices skipped by §5.3 prunings
+	OutputsTried int  // output choices explored
+	TimedOut     bool // the run hit Options.Deadline and stopped early
+}

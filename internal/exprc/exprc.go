@@ -1,0 +1,406 @@
+// Package exprc compiles a tiny straight-line expression language into
+// data-flow graphs. It stands in for the paper's GCC-based toolchain [8]:
+// realistic kernels (FIR taps, hash rounds, saturating arithmetic) can be
+// written as source text and fed to the enumerator and the ISE selector.
+//
+// Language, one statement per line:
+//
+//	in a, b, c          declare live-in variables
+//	x = a*b + (c >> 2)  assignment; every name is single-assignment
+//	store(addr, x)      memory write (forbidden node)
+//	out x, y            mark names live-out
+//	# comment
+//
+// Expressions support || && | ^ & == != < <= > >= << >> + - * / % unary -~
+// parentheses, decimal/hex literals, the functions load(e), min(a,b),
+// max(a,b), abs(e), select(c,a,b), and c ? a : b.
+package exprc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"polyise/internal/dfg"
+)
+
+// Compile translates a program into a frozen data-flow graph. Loads and
+// stores are marked forbidden, matching the paper's convention that the
+// custom functional unit has no memory port.
+func Compile(src string) (*dfg.Graph, error) {
+	c := &compiler{
+		g:    dfg.New(),
+		vars: make(map[string]int),
+	}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := c.statement(line); err != nil {
+			return nil, fmt.Errorf("exprc: line %d: %w", lineNo+1, err)
+		}
+	}
+	if err := c.g.Freeze(); err != nil {
+		return nil, fmt.Errorf("exprc: %w", err)
+	}
+	return c.g, nil
+}
+
+// MustCompile is Compile that panics on error, for tests and examples.
+func MustCompile(src string) *dfg.Graph {
+	g, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+type compiler struct {
+	g    *dfg.Graph
+	vars map[string]int
+}
+
+func (c *compiler) statement(line string) error {
+	switch {
+	case strings.HasPrefix(line, "in "):
+		for _, name := range splitNames(line[3:]) {
+			if _, dup := c.vars[name]; dup {
+				return fmt.Errorf("duplicate name %q", name)
+			}
+			c.vars[name] = c.g.MustAddNode(dfg.OpVar, name)
+		}
+		return nil
+	case strings.HasPrefix(line, "out "):
+		for _, name := range splitNames(line[4:]) {
+			id, ok := c.vars[name]
+			if !ok {
+				return fmt.Errorf("undefined name %q", name)
+			}
+			if err := c.g.MarkLiveOut(id); err != nil {
+				return err
+			}
+		}
+		return nil
+	case strings.HasPrefix(line, "store"):
+		p := newParser(line, c)
+		if err := p.expectIdent("store"); err != nil {
+			return err
+		}
+		_, err := p.call("store")
+		if err != nil {
+			return err
+		}
+		return p.expectEOF()
+	}
+	eq := strings.Index(line, "=")
+	if eq < 0 {
+		return fmt.Errorf("expected assignment, got %q", line)
+	}
+	name := strings.TrimSpace(line[:eq])
+	if !isIdent(name) {
+		return fmt.Errorf("bad variable name %q", name)
+	}
+	if _, dup := c.vars[name]; dup {
+		return fmt.Errorf("name %q reassigned (the language is single-assignment)", name)
+	}
+	p := newParser(line[eq+1:], c)
+	id, err := p.expr(0)
+	if err != nil {
+		return err
+	}
+	if err := p.expectEOF(); err != nil {
+		return err
+	}
+	c.vars[name] = id
+	return nil
+}
+
+func splitNames(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if name := strings.TrimSpace(part); name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- Pratt parser ----
+
+type token struct {
+	kind string // "ident", "num", "op", "eof"
+	text string
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	c    *compiler
+}
+
+func newParser(src string, c *compiler) *parser {
+	return &parser{toks: lex(src), c: c}
+}
+
+var multiOps = []string{"<<", ">>", "<=", ">=", "==", "!=", "&&", "||"}
+
+func lex(src string) []token {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		ch := src[i]
+		switch {
+		case ch == ' ' || ch == '\t':
+			i++
+		case ch >= '0' && ch <= '9':
+			j := i + 1
+			for j < len(src) && (isAlnum(src[j]) || src[j] == 'x' || src[j] == 'X') {
+				j++
+			}
+			toks = append(toks, token{"num", src[i:j]})
+			i = j
+		case isAlpha(ch):
+			j := i + 1
+			for j < len(src) && isAlnum(src[j]) {
+				j++
+			}
+			toks = append(toks, token{"ident", src[i:j]})
+			i = j
+		default:
+			matched := false
+			for _, op := range multiOps {
+				if strings.HasPrefix(src[i:], op) {
+					toks = append(toks, token{"op", op})
+					i += len(op)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				toks = append(toks, token{"op", string(ch)})
+				i++
+			}
+		}
+	}
+	return append(toks, token{"eof", ""})
+}
+
+func isAlpha(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}
+
+func isAlnum(b byte) bool { return isAlpha(b) || (b >= '0' && b <= '9') }
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != "eof" {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expectOp(op string) error {
+	t := p.next()
+	if t.kind != "op" || t.text != op {
+		return fmt.Errorf("expected %q, got %q", op, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent(name string) error {
+	t := p.next()
+	if t.kind != "ident" || t.text != name {
+		return fmt.Errorf("expected %q, got %q", name, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectEOF() error {
+	if t := p.peek(); t.kind != "eof" {
+		return fmt.Errorf("trailing input %q", t.text)
+	}
+	return nil
+}
+
+// binding powers; higher binds tighter.
+var binPower = map[string]int{
+	"||": 1, "&&": 2,
+	"|": 3, "^": 4, "&": 5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+var binOp = map[string]dfg.Op{
+	"||": dfg.OpOr, "&&": dfg.OpAnd,
+	"|": dfg.OpOr, "^": dfg.OpXor, "&": dfg.OpAnd,
+	"==": dfg.OpCmpEQ, "!=": dfg.OpCmpNE,
+	"<": dfg.OpCmpLT, "<=": dfg.OpCmpLE,
+	"<<": dfg.OpShl, ">>": dfg.OpShr,
+	"+": dfg.OpAdd, "-": dfg.OpSub,
+	"*": dfg.OpMul, "/": dfg.OpDiv, "%": dfg.OpRem,
+}
+
+// expr parses with operator precedence climbing; minBP is the minimum
+// binding power that continues the loop.
+func (p *parser) expr(minBP int) (int, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return -1, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == "op" && t.text == "?" && minBP == 0 {
+			p.next()
+			thenV, err := p.expr(0)
+			if err != nil {
+				return -1, err
+			}
+			if err := p.expectOp(":"); err != nil {
+				return -1, err
+			}
+			elseV, err := p.expr(0)
+			if err != nil {
+				return -1, err
+			}
+			lhs = p.c.g.MustAddNode(dfg.OpSelect, "", lhs, thenV, elseV)
+			continue
+		}
+		if t.kind != "op" {
+			break
+		}
+		bp, ok := binPower[t.text]
+		if !ok || bp < minBP {
+			break
+		}
+		p.next()
+		rhs, err := p.expr(bp + 1)
+		if err != nil {
+			return -1, err
+		}
+		op := binOp[t.text]
+		// Comparisons with swapped operands: a > b ⇒ b < a.
+		if t.text == ">" {
+			lhs, rhs = rhs, lhs
+			op = dfg.OpCmpLT
+		} else if t.text == ">=" {
+			lhs, rhs = rhs, lhs
+			op = dfg.OpCmpLE
+		}
+		lhs = p.c.g.MustAddNode(op, "", lhs, rhs)
+	}
+	return lhs, nil
+}
+
+func (p *parser) unary() (int, error) {
+	t := p.next()
+	switch {
+	case t.kind == "op" && t.text == "-":
+		v, err := p.unary()
+		if err != nil {
+			return -1, err
+		}
+		return p.c.g.MustAddNode(dfg.OpNeg, "", v), nil
+	case t.kind == "op" && t.text == "~":
+		v, err := p.unary()
+		if err != nil {
+			return -1, err
+		}
+		return p.c.g.MustAddNode(dfg.OpNot, "", v), nil
+	case t.kind == "op" && t.text == "(":
+		v, err := p.expr(0)
+		if err != nil {
+			return -1, err
+		}
+		return v, p.expectOp(")")
+	case t.kind == "num":
+		val, err := strconv.ParseInt(t.text, 0, 64)
+		if err != nil {
+			return -1, fmt.Errorf("bad literal %q", t.text)
+		}
+		id := p.c.g.MustAddNode(dfg.OpConst, "")
+		if err := p.c.g.SetConst(id, val); err != nil {
+			return -1, err
+		}
+		return id, nil
+	case t.kind == "ident":
+		if p.peek().kind == "op" && p.peek().text == "(" {
+			return p.call(t.text)
+		}
+		id, ok := p.c.vars[t.text]
+		if !ok {
+			return -1, fmt.Errorf("undefined name %q", t.text)
+		}
+		return id, nil
+	}
+	return -1, fmt.Errorf("unexpected token %q", t.text)
+}
+
+// call parses fn(args...) with fn already consumed.
+func (p *parser) call(fn string) (int, error) {
+	if err := p.expectOp("("); err != nil {
+		return -1, err
+	}
+	var args []int
+	if !(p.peek().kind == "op" && p.peek().text == ")") {
+		for {
+			a, err := p.expr(0)
+			if err != nil {
+				return -1, err
+			}
+			args = append(args, a)
+			if p.peek().kind == "op" && p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return -1, err
+	}
+	want := map[string]struct {
+		op    dfg.Op
+		arity int
+	}{
+		"load":   {dfg.OpLoad, 1},
+		"store":  {dfg.OpStore, 2},
+		"min":    {dfg.OpMin, 2},
+		"max":    {dfg.OpMax, 2},
+		"abs":    {dfg.OpAbs, 1},
+		"select": {dfg.OpSelect, 3},
+	}
+	spec, ok := want[fn]
+	if !ok {
+		return -1, fmt.Errorf("unknown function %q", fn)
+	}
+	if len(args) != spec.arity {
+		return -1, fmt.Errorf("%s takes %d arguments, got %d", fn, spec.arity, len(args))
+	}
+	id := p.c.g.MustAddNode(spec.op, "", args...)
+	if spec.op.IsMemory() {
+		if err := p.c.g.MarkForbidden(id); err != nil {
+			return -1, err
+		}
+	}
+	return id, nil
+}

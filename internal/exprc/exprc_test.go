@@ -1,0 +1,197 @@
+package exprc
+
+import (
+	"strings"
+	"testing"
+
+	"polyise/internal/dfg"
+)
+
+func TestCompileMAC(t *testing.T) {
+	g := MustCompile(`
+# multiply-accumulate
+in a, b, c, d
+m1 = a * b
+m2 = c * d
+out_sum = m1 + m2
+out out_sum
+`)
+	if g.N() != 7 {
+		t.Fatalf("n = %d, want 7", g.N())
+	}
+	if len(g.Roots()) != 4 {
+		t.Fatalf("roots = %v", g.Roots())
+	}
+	muls := 0
+	for v := 0; v < g.N(); v++ {
+		if g.Op(v) == dfg.OpMul {
+			muls++
+		}
+	}
+	if muls != 2 {
+		t.Fatalf("muls = %d, want 2", muls)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	// a + b*c must multiply first: the add's second operand is the mul.
+	g := MustCompile("in a, b, c\nr = a + b * c\nout r")
+	r := g.N() - 1
+	if g.Op(r) != dfg.OpAdd {
+		t.Fatalf("top op = %v, want add", g.Op(r))
+	}
+	preds := g.Preds(r)
+	if g.Op(preds[0]) != dfg.OpVar || g.Op(preds[1]) != dfg.OpMul {
+		t.Fatalf("operand ops = %v %v", g.Op(preds[0]), g.Op(preds[1]))
+	}
+	// Parentheses override: (a + b) * c.
+	g = MustCompile("in a, b, c\nr = (a + b) * c\nout r")
+	r = g.N() - 1
+	if g.Op(r) != dfg.OpMul {
+		t.Fatalf("top op = %v, want mul", g.Op(r))
+	}
+}
+
+func TestShiftAndCompareAndSelect(t *testing.T) {
+	g := MustCompile(`
+in x, lo, hi
+clamped = x < lo ? lo : (x > hi ? hi : x)
+out clamped
+`)
+	sel, lt := 0, 0
+	for v := 0; v < g.N(); v++ {
+		switch g.Op(v) {
+		case dfg.OpSelect:
+			sel++
+		case dfg.OpCmpLT:
+			lt++
+		}
+	}
+	if sel != 2 || lt != 2 { // x>hi compiles to hi<x
+		t.Fatalf("select=%d lt=%d, want 2 and 2", sel, lt)
+	}
+}
+
+func TestGreaterSwapsOperands(t *testing.T) {
+	g := MustCompile("in a, b\nr = a > b\nout r")
+	r := g.N() - 1
+	if g.Op(r) != dfg.OpCmpLT {
+		t.Fatalf("op = %v, want cmplt", g.Op(r))
+	}
+	p := g.Preds(r)
+	if g.Name(p[0]) != "b" || g.Name(p[1]) != "a" {
+		t.Fatalf("operands = %q,%q; want b,a", g.Name(p[0]), g.Name(p[1]))
+	}
+}
+
+func TestMemoryOpsForbidden(t *testing.T) {
+	g := MustCompile(`
+in p, q, v
+x = load(p)
+y = x + v
+store(q, y)
+out y
+`)
+	loads, stores := 0, 0
+	for v := 0; v < g.N(); v++ {
+		if g.Op(v) == dfg.OpLoad {
+			loads++
+			if !g.IsUserForbidden(v) {
+				t.Error("load not forbidden")
+			}
+		}
+		if g.Op(v) == dfg.OpStore {
+			stores++
+			if !g.IsUserForbidden(v) {
+				t.Error("store not forbidden")
+			}
+		}
+	}
+	if loads != 1 || stores != 1 {
+		t.Fatalf("loads=%d stores=%d", loads, stores)
+	}
+}
+
+func TestConstantsAndHex(t *testing.T) {
+	g := MustCompile("in a\nr = (a ^ 0x5A) + 10\nout r")
+	found := map[int64]bool{}
+	for v := 0; v < g.N(); v++ {
+		if g.Op(v) == dfg.OpConst {
+			found[g.ConstValue(v)] = true
+		}
+	}
+	if !found[0x5A] || !found[10] {
+		t.Fatalf("constants = %v", found)
+	}
+}
+
+func TestFunctions(t *testing.T) {
+	g := MustCompile("in a, b\nr = min(abs(a - b), max(a, b))\nout r")
+	ops := map[dfg.Op]int{}
+	for v := 0; v < g.N(); v++ {
+		ops[g.Op(v)]++
+	}
+	if ops[dfg.OpMin] != 1 || ops[dfg.OpMax] != 1 || ops[dfg.OpAbs] != 1 {
+		t.Fatalf("ops = %v", ops)
+	}
+}
+
+func TestUnary(t *testing.T) {
+	g := MustCompile("in a\nr = -~a\nout r")
+	r := g.N() - 1
+	if g.Op(r) != dfg.OpNeg || g.Op(g.Preds(r)[0]) != dfg.OpNot {
+		t.Fatal("unary chain wrong")
+	}
+}
+
+func TestLiveOut(t *testing.T) {
+	g := MustCompile("in a\nx = a + a\ny = x + a\nout x, y")
+	for v := 0; v < g.N(); v++ {
+		if g.Name(v) == "" && g.Op(v) == dfg.OpAdd && len(g.Succs(v)) > 0 {
+			if !g.IsLiveOut(v) {
+				t.Fatal("x not live-out")
+			}
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"undefined", "r = a + 1"},
+		{"reassign", "in a\na = a"},
+		{"redeclare", "in a, a"},
+		{"bad out", "out zz"},
+		{"trailing", "in a\nr = a + 1 2"},
+		{"unknown fn", "in a\nr = frob(a)"},
+		{"arity", "in a\nr = min(a)"},
+		{"unbalanced", "in a\nr = (a + 1"},
+		{"bad stmt", "wibble"},
+		{"bad name", "in a\n3x = a"},
+		{"empty program", "# nothing"},
+	}
+	for _, c := range cases {
+		if _, err := Compile(c.src); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	g := MustCompile("\n\n# header\n  in a  \n r = a+1 \nout r\n# trailer\n")
+	if g.N() != 3 {
+		t.Fatalf("n = %d, want 3", g.N())
+	}
+}
+
+func TestLogicalOpsLowered(t *testing.T) {
+	g := MustCompile("in a, b\nr = (a && b) || (a ^ b)\nout r")
+	src := strings.Builder{}
+	for v := 0; v < g.N(); v++ {
+		src.WriteString(g.Op(v).String())
+		src.WriteByte(' ')
+	}
+	s := src.String()
+	if !strings.Contains(s, "and") || !strings.Contains(s, "or") || !strings.Contains(s, "xor") {
+		t.Fatalf("lowered ops: %s", s)
+	}
+}

@@ -1,0 +1,193 @@
+// Package graphio serializes data-flow graphs to a line-oriented text
+// format and exports them to Graphviz DOT for inspection.
+//
+// The text format is one node per line, in topological (construction)
+// order:
+//
+//	# comment
+//	node <op> [name=<n>] [preds=<i>,<j>,...] [const=<v>] [forbidden] [liveout]
+//
+// Node ids are implicit (0-based line order), which makes hand-written
+// fixtures easy and guarantees a topological construction order.
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"polyise/internal/bitset"
+	"polyise/internal/dfg"
+)
+
+// Write serializes g in the text format. The graph must be frozen.
+func Write(w io.Writer, g *dfg.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# polyise dfg: %d nodes, %d edges\n", g.N(), g.NumEdges())
+	for v := 0; v < g.N(); v++ {
+		fmt.Fprintf(bw, "node %s", g.Op(v))
+		if n := g.Name(v); n != "" {
+			fmt.Fprintf(bw, " name=%s", n)
+		}
+		if preds := g.Preds(v); len(preds) > 0 {
+			parts := make([]string, len(preds))
+			for i, p := range preds {
+				parts[i] = strconv.Itoa(p)
+			}
+			fmt.Fprintf(bw, " preds=%s", strings.Join(parts, ","))
+		}
+		switch g.Op(v) {
+		case dfg.OpConst, dfg.OpCustom, dfg.OpExtract:
+			// Constants carry their literal, custom instructions their
+			// latency, extracts their result index.
+			fmt.Fprintf(bw, " const=%d", g.ConstValue(v))
+		}
+		if g.IsUserForbidden(v) && g.Op(v) != dfg.OpCall {
+			fmt.Fprint(bw, " forbidden")
+		}
+		if g.IsLiveOut(v) && len(g.Succs(v)) > 0 {
+			fmt.Fprint(bw, " liveout")
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// Read parses the text format and returns a frozen graph.
+func Read(r io.Reader) (*dfg.Graph, error) {
+	g := dfg.New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] != "node" || len(fields) < 2 {
+			return nil, fmt.Errorf("graphio: line %d: expected \"node <op> ...\"", lineNo)
+		}
+		op := dfg.OpFromName(fields[1])
+		if !op.Valid() {
+			return nil, fmt.Errorf("graphio: line %d: unknown op %q", lineNo, fields[1])
+		}
+		var (
+			name      string
+			preds     []int
+			constVal  int64
+			hasConst  bool
+			forbidden bool
+			liveout   bool
+		)
+		for _, f := range fields[2:] {
+			switch {
+			case strings.HasPrefix(f, "name="):
+				name = f[len("name="):]
+			case strings.HasPrefix(f, "preds="):
+				for _, p := range strings.Split(f[len("preds="):], ",") {
+					id, err := strconv.Atoi(p)
+					if err != nil {
+						return nil, fmt.Errorf("graphio: line %d: bad pred %q", lineNo, p)
+					}
+					preds = append(preds, id)
+				}
+			case strings.HasPrefix(f, "const="):
+				v, err := strconv.ParseInt(f[len("const="):], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("graphio: line %d: bad const %q", lineNo, f)
+				}
+				constVal, hasConst = v, true
+			case f == "forbidden":
+				forbidden = true
+			case f == "liveout":
+				liveout = true
+			default:
+				return nil, fmt.Errorf("graphio: line %d: unknown attribute %q", lineNo, f)
+			}
+		}
+		id, err := g.AddNode(op, name, preds...)
+		if err != nil {
+			return nil, fmt.Errorf("graphio: line %d: %w", lineNo, err)
+		}
+		if hasConst {
+			if err := g.SetConst(id, constVal); err != nil {
+				return nil, err
+			}
+		}
+		if forbidden {
+			if err := g.MarkForbidden(id); err != nil {
+				return nil, err
+			}
+		}
+		if liveout {
+			if err := g.MarkLiveOut(id); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := g.Freeze(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// DOTOptions configures DOT export.
+type DOTOptions struct {
+	// Highlight, when non-nil, shades the given vertex set (e.g. a cut).
+	Highlight *bitset.Set
+	// Name is the graph name; defaults to "dfg".
+	Name string
+}
+
+// WriteDOT exports g as a Graphviz digraph. Forbidden nodes are drawn as
+// boxes, roots as inverted triangles, Oext members with a double border,
+// and highlighted nodes shaded.
+func WriteDOT(w io.Writer, g *dfg.Graph, opt DOTOptions) error {
+	bw := bufio.NewWriter(w)
+	name := opt.Name
+	if name == "" {
+		name = "dfg"
+	}
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n", name)
+	for v := 0; v < g.N(); v++ {
+		label := g.Op(v).String()
+		if n := g.Name(v); n != "" {
+			label = fmt.Sprintf("%s\\n%s", n, label)
+		}
+		if g.Op(v) == dfg.OpConst {
+			label = fmt.Sprintf("%d", g.ConstValue(v))
+		}
+		attrs := []string{fmt.Sprintf("label=\"%d: %s\"", v, label)}
+		switch {
+		case g.IsRoot(v):
+			attrs = append(attrs, "shape=invtriangle")
+		case g.IsUserForbidden(v):
+			attrs = append(attrs, "shape=box", "style=filled", "fillcolor=\"#ffcccc\"")
+		case g.IsLiveOut(v):
+			attrs = append(attrs, "shape=doublecircle")
+		default:
+			attrs = append(attrs, "shape=ellipse")
+		}
+		if opt.Highlight != nil && opt.Highlight.Has(v) {
+			attrs = append(attrs, "style=filled", "fillcolor=\"#cce5ff\"")
+		}
+		fmt.Fprintf(bw, "  n%d [%s];\n", v, strings.Join(attrs, ", "))
+	}
+	for v := 0; v < g.N(); v++ {
+		succs := append([]int(nil), g.Succs(v)...)
+		sort.Ints(succs)
+		for _, s := range succs {
+			fmt.Fprintf(bw, "  n%d -> n%d;\n", v, s)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

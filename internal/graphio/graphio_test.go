@@ -1,0 +1,176 @@
+package graphio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"polyise/internal/bitset"
+	"polyise/internal/dfg"
+)
+
+func sample(t *testing.T) *dfg.Graph {
+	t.Helper()
+	g := dfg.New()
+	a := g.MustAddNode(dfg.OpVar, "a")
+	c := g.MustAddNode(dfg.OpConst, "")
+	if err := g.SetConst(c, 42); err != nil {
+		t.Fatal(err)
+	}
+	ld := g.MustAddNode(dfg.OpLoad, "ld", a)
+	x := g.MustAddNode(dfg.OpAdd, "x", ld, c)
+	y := g.MustAddNode(dfg.OpMul, "y", x, x)
+	_ = y
+	if err := g.MarkForbidden(ld); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.MarkLiveOut(x); err != nil {
+		t.Fatal(err)
+	}
+	g.MustFreeze()
+	return g
+}
+
+func TestRoundTrip(t *testing.T) {
+	g := sample(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualGraphs(t, g, g2)
+}
+
+func assertEqualGraphs(t *testing.T, g, g2 *dfg.Graph) {
+	t.Helper()
+	if g2.N() != g.N() {
+		t.Fatalf("N = %d, want %d", g2.N(), g.N())
+	}
+	for v := 0; v < g.N(); v++ {
+		if g2.Op(v) != g.Op(v) {
+			t.Errorf("node %d op = %v, want %v", v, g2.Op(v), g.Op(v))
+		}
+		if g2.Name(v) != g.Name(v) {
+			t.Errorf("node %d name = %q, want %q", v, g2.Name(v), g.Name(v))
+		}
+		if len(g2.Preds(v)) != len(g.Preds(v)) {
+			t.Errorf("node %d preds = %v, want %v", v, g2.Preds(v), g.Preds(v))
+			continue
+		}
+		for i, p := range g.Preds(v) {
+			if g2.Preds(v)[i] != p {
+				t.Errorf("node %d pred %d = %d, want %d", v, i, g2.Preds(v)[i], p)
+			}
+		}
+		if g2.IsUserForbidden(v) != g.IsUserForbidden(v) {
+			t.Errorf("node %d forbidden mismatch", v)
+		}
+		if g2.IsLiveOut(v) != g.IsLiveOut(v) {
+			t.Errorf("node %d liveout mismatch", v)
+		}
+		if g.Op(v) == dfg.OpConst && g2.ConstValue(v) != g.ConstValue(v) {
+			t.Errorf("node %d const = %d, want %d", v, g2.ConstValue(v), g.ConstValue(v))
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"bad keyword", "vertex add\n"},
+		{"unknown op", "node frobnicate\n"},
+		{"bad pred", "node var\nnode add preds=zero\n"},
+		{"forward pred", "node add preds=5\n"},
+		{"unknown attr", "node var wat\n"},
+		{"bad const", "node const const=abc\n"},
+		{"empty graph", "# nothing\n"},
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestReadIgnoresCommentsAndBlanks(t *testing.T) {
+	in := `
+# a comment
+
+node var name=a
+node not preds=0
+`
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2 || g.Op(1) != dfg.OpNot {
+		t.Fatalf("parsed wrong graph: n=%d", g.N())
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := sample(t)
+	var buf bytes.Buffer
+	hl := bitset.FromMembers(g.N(), 3)
+	if err := WriteDOT(&buf, g, DOTOptions{Highlight: hl, Name: "test"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph \"test\"",
+		"shape=invtriangle",      // root
+		"fillcolor=\"#ffcccc\"",  // forbidden load
+		"fillcolor=\"#cce5ff\"",  // highlighted node
+		"n0 -> n2;", "n3 -> n4;", // edges
+		"label=\"1: 42\"", // const label
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestQuickRoundTripRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := dfg.New()
+		n := 1 + r.Intn(40)
+		for i := 0; i < n; i++ {
+			if i == 0 || r.Intn(4) == 0 {
+				g.MustAddNode(dfg.OpVar, "")
+				continue
+			}
+			id := g.MustAddNode(dfg.OpAdd, "", r.Intn(i), r.Intn(i))
+			if r.Intn(6) == 0 {
+				if err := g.MarkForbidden(id); err != nil {
+					panic(err)
+				}
+			}
+		}
+		g.MustFreeze()
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			return false
+		}
+		g2, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if g2.N() != g.N() || g2.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for v := 0; v < g.N(); v++ {
+			if g2.IsUserForbidden(v) != g.IsUserForbidden(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,227 @@
+// Package interp executes data-flow graphs on concrete values. Its job in
+// the reproduction is semantic validation: the graph rewrites behind the
+// iterative ISE flow (ExtractCut, CollapseCut) must preserve the block's
+// meaning, and the test suite proves it by running rewritten blocks against
+// the originals on random inputs. It also doubles as a tiny reference model
+// for the generated Verilog's operator semantics (32-bit two's complement).
+package interp
+
+import (
+	"fmt"
+
+	"polyise/internal/dfg"
+)
+
+// Memory provides load/store semantics for the memory operations.
+type Memory interface {
+	Load(addr int32) int32
+	Store(addr, val int32)
+}
+
+// FlatMemory is a sparse word-addressed memory.
+type FlatMemory map[int32]int32
+
+// Load returns the word at addr (zero if never written).
+func (m FlatMemory) Load(addr int32) int32 { return m[addr] }
+
+// Store writes the word at addr.
+func (m FlatMemory) Store(addr, val int32) { m[addr] = val }
+
+// CustomFn implements one collapsed custom instruction: it receives the
+// operand values in the instruction's documented operand order and returns
+// one value per result.
+type CustomFn func(args []int32) []int32
+
+// Env configures an execution.
+type Env struct {
+	// Inputs maps live-in variable names to values; unnamed roots default
+	// to zero and can be set positionally via RootValues.
+	Inputs map[string]int32
+	// RootValues overrides inputs positionally, indexed like g.Roots().
+	RootValues []int32
+	// Mem backs loads and stores; nil means a fresh FlatMemory.
+	Mem Memory
+	// Customs resolves custom instructions by node name.
+	Customs map[string]CustomFn
+}
+
+// Result carries every node's value after execution.
+type Result struct {
+	Values []int32
+	Mem    Memory
+}
+
+// LiveOuts returns the values of the block's Oext vertices in ascending
+// vertex order — the observable result of the block.
+func (r Result) LiveOuts(g *dfg.Graph) []int32 {
+	outs := g.Oext()
+	vals := make([]int32, len(outs))
+	for i, o := range outs {
+		vals[i] = r.Values[o]
+	}
+	return vals
+}
+
+// Run executes the frozen graph in topological order.
+func Run(g *dfg.Graph, env Env) (Result, error) {
+	mem := env.Mem
+	if mem == nil {
+		mem = FlatMemory{}
+	}
+	vals := make([]int32, g.N())
+	roots := g.Roots()
+	for i, r := range roots {
+		switch {
+		case env.RootValues != nil && i < len(env.RootValues):
+			vals[r] = env.RootValues[i]
+		case env.Inputs != nil:
+			vals[r] = env.Inputs[g.Name(r)]
+		}
+	}
+	// Custom results are cached per custom node (multi-output instructions
+	// are evaluated once, extracts select from the cache).
+	customResults := make(map[int][]int32)
+
+	for _, v := range g.Topo() {
+		preds := g.Preds(v)
+		a := func(i int) int32 { return vals[preds[i]] }
+		switch g.Op(v) {
+		case dfg.OpVar:
+			// already seeded
+		case dfg.OpConst:
+			vals[v] = int32(g.ConstValue(v))
+		case dfg.OpAdd:
+			vals[v] = a(0) + a(1)
+		case dfg.OpSub:
+			vals[v] = a(0) - a(1)
+		case dfg.OpMul:
+			vals[v] = a(0) * a(1)
+		case dfg.OpDiv:
+			if a(1) == 0 {
+				vals[v] = 0 // hardware-style saturation of the undefined case
+			} else {
+				vals[v] = a(0) / a(1)
+			}
+		case dfg.OpRem:
+			if a(1) == 0 {
+				vals[v] = 0
+			} else {
+				vals[v] = a(0) % a(1)
+			}
+		case dfg.OpAnd:
+			vals[v] = a(0) & a(1)
+		case dfg.OpOr:
+			vals[v] = a(0) | a(1)
+		case dfg.OpXor:
+			vals[v] = a(0) ^ a(1)
+		case dfg.OpNot:
+			vals[v] = ^a(0)
+		case dfg.OpNeg:
+			vals[v] = -a(0)
+		case dfg.OpShl:
+			vals[v] = a(0) << uint32(a(1)&31)
+		case dfg.OpShr:
+			vals[v] = int32(uint32(a(0)) >> uint32(a(1)&31))
+		case dfg.OpSar:
+			vals[v] = a(0) >> uint32(a(1)&31)
+		case dfg.OpCmpEQ:
+			vals[v] = b2i(a(0) == a(1))
+		case dfg.OpCmpNE:
+			vals[v] = b2i(a(0) != a(1))
+		case dfg.OpCmpLT:
+			vals[v] = b2i(a(0) < a(1))
+		case dfg.OpCmpLE:
+			vals[v] = b2i(a(0) <= a(1))
+		case dfg.OpSelect:
+			if a(0) != 0 {
+				vals[v] = a(1)
+			} else {
+				vals[v] = a(2)
+			}
+		case dfg.OpMin:
+			vals[v] = min32(a(0), a(1))
+		case dfg.OpMax:
+			vals[v] = max32(a(0), a(1))
+		case dfg.OpAbs:
+			if a(0) < 0 {
+				vals[v] = -a(0)
+			} else {
+				vals[v] = a(0)
+			}
+		case dfg.OpLoad:
+			vals[v] = mem.Load(a(0))
+		case dfg.OpStore:
+			mem.Store(a(0), a(1))
+			vals[v] = a(1)
+		case dfg.OpCustom:
+			fn := env.Customs[g.Name(v)]
+			if fn == nil {
+				return Result{}, fmt.Errorf("interp: no implementation for custom instruction %q", g.Name(v))
+			}
+			args := make([]int32, len(preds))
+			for i := range preds {
+				args[i] = a(i)
+			}
+			rs := fn(args)
+			customResults[v] = rs
+			if len(rs) > 0 {
+				vals[v] = rs[0]
+			}
+		case dfg.OpExtract:
+			rs := customResults[preds[0]]
+			idx := int(g.ConstValue(v))
+			if idx < 0 || idx >= len(rs) {
+				return Result{}, fmt.Errorf("interp: extract index %d out of range (%d results)", idx, len(rs))
+			}
+			vals[v] = rs[idx]
+		case dfg.OpCall:
+			return Result{}, fmt.Errorf("interp: cannot execute opaque call %q", g.Name(v))
+		default:
+			return Result{}, fmt.Errorf("interp: unknown op %v", g.Op(v))
+		}
+	}
+	return Result{Values: vals, Mem: mem}, nil
+}
+
+// CutEvaluator builds a CustomFn from a cut extracted with ExtractCut: the
+// returned function interprets the datapath, taking operands in the cut's
+// input order (ExtractCut creates the input vertices first, in exactly the
+// operand order CollapseCut wires) and returning the results for outputIDs,
+// the extracted ids of the cut's outputs in the original output order
+// (obtain them by mapping g.Outputs(S) through ExtractCut's mapping).
+func CutEvaluator(extracted *dfg.Graph, outputIDs []int) CustomFn {
+	outs := append([]int(nil), outputIDs...)
+	return func(args []int32) []int32 {
+		env := Env{RootValues: args}
+		res, err := Run(extracted, env)
+		if err != nil {
+			panic(err) // extracted datapaths contain no memory ops or calls
+		}
+		vals := make([]int32, len(outs))
+		for i, o := range outs {
+			vals[i] = res.Values[o]
+		}
+		return vals
+	}
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max32(a, b int32) int32 {
+	if a < b {
+		return b
+	}
+	return a
+}

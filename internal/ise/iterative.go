@@ -1,0 +1,86 @@
+package ise
+
+import (
+	"fmt"
+
+	"polyise/internal/dfg"
+	"polyise/internal/enum"
+)
+
+// Round records one iteration of the iterative identification flow.
+type Round struct {
+	// Instruction is the cut selected in this round, scored against the
+	// graph it was found in.
+	Instruction Estimate
+	// Graph is the block after collapsing the instruction.
+	Graph *dfg.Graph
+}
+
+// IterativeResult is the outcome of IterativeIdentify.
+type IterativeResult struct {
+	Rounds []Round
+	// Final is the block with every selected instruction collapsed.
+	Final *dfg.Graph
+	// CyclesBefore and CyclesAfter measure the block on the cost model
+	// before the first and after the last round.
+	CyclesBefore int
+	CyclesAfter  int
+}
+
+// Speedup returns the block-level speedup achieved by all rounds together.
+func (r IterativeResult) Speedup() float64 {
+	if r.CyclesAfter <= 0 {
+		return 1
+	}
+	return float64(r.CyclesBefore) / float64(r.CyclesAfter)
+}
+
+// IterativeIdentify runs the compiler-toolchain flow the paper's §7 refers
+// to ([8]): repeatedly enumerate the current block's cuts, pick the single
+// best instruction, collapse it into an OpCustom node (which is forbidden
+// in later rounds), and continue on the rewritten block until no
+// instruction saves cycles or maxRounds is reached.
+//
+// Collapsing between rounds is what lets one block yield several
+// non-overlapping instructions without re-examining overlapping candidates,
+// and it models the real compiler pipeline: each selected instruction
+// becomes an opaque unit of the ISA.
+func IterativeIdentify(g *dfg.Graph, eopt enum.Options, m Model, maxRounds int) (IterativeResult, error) {
+	if maxRounds <= 0 {
+		maxRounds = 8
+	}
+	res := IterativeResult{
+		Final:        g,
+		CyclesBefore: NewEstimator(g, m).BlockCycles(),
+	}
+	cur := g
+	for round := 0; round < maxRounds; round++ {
+		est := NewEstimator(cur, m)
+		var best Estimate
+		enum.Enumerate(cur, eopt, func(c enum.Cut) bool {
+			e := est.Estimate(c)
+			if e.Saving > best.Saving {
+				if eopt.KeepCuts {
+					best = e
+				} else {
+					e.Cut.Nodes = e.Cut.Nodes.Clone()
+					best = e
+				}
+			}
+			return true
+		})
+		if best.Cut.Nodes == nil || best.Saving <= 0 {
+			break
+		}
+		next, _, err := cur.CollapseCut(best.Cut.Nodes,
+			fmt.Sprintf("ise%d", round), best.HWCycles)
+		if err != nil {
+			return res, fmt.Errorf("ise: collapsing round %d: %w", round, err)
+		}
+		res.Rounds = append(res.Rounds, Round{Instruction: best, Graph: next})
+		cur = next
+	}
+	res.Final = cur
+	res.CyclesAfter = NewEstimator(cur, m).BlockCycles()
+	return res, nil
+}

@@ -1,0 +1,170 @@
+package ise
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"polyise/internal/dfg"
+	"polyise/internal/enum"
+	"polyise/internal/workload"
+)
+
+func TestIterativeIdentifyMAC(t *testing.T) {
+	g := mac(t)
+	res, err := IterativeIdentify(g, enum.DefaultOptions(), DefaultModel(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) == 0 {
+		t.Fatal("no rounds selected")
+	}
+	if res.Speedup() <= 1 {
+		t.Fatalf("speedup = %v, want > 1", res.Speedup())
+	}
+	// The final graph contains one custom node per round.
+	customs := 0
+	for v := 0; v < res.Final.N(); v++ {
+		if res.Final.Op(v) == dfg.OpCustom {
+			customs++
+		}
+	}
+	if customs != len(res.Rounds) {
+		t.Fatalf("custom nodes = %d, rounds = %d", customs, len(res.Rounds))
+	}
+	// Cycle accounting: after = before − Σ savings.
+	saved := 0
+	for _, r := range res.Rounds {
+		saved += r.Instruction.Saving
+	}
+	if res.CyclesBefore-saved != res.CyclesAfter {
+		t.Fatalf("cycle accounting: %d - %d != %d",
+			res.CyclesBefore, saved, res.CyclesAfter)
+	}
+}
+
+func TestIterativeIdentifyStopsWhenNoSaving(t *testing.T) {
+	// A single add: no instruction can save a cycle, so zero rounds.
+	g := dfg.New()
+	a := g.MustAddNode(dfg.OpVar, "a")
+	g.MustAddNode(dfg.OpAdd, "x", a, a)
+	g.MustFreeze()
+	res, err := IterativeIdentify(g, enum.DefaultOptions(), DefaultModel(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 0 {
+		t.Fatalf("rounds = %d, want 0", len(res.Rounds))
+	}
+	if res.Speedup() != 1 {
+		t.Fatalf("speedup = %v, want 1", res.Speedup())
+	}
+}
+
+func TestIterativeIdentifyOnRandomBlocks(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := workload.MiBenchLike(r, 40+r.Intn(40), workload.DefaultProfile())
+		res, err := IterativeIdentify(g, enum.DefaultOptions(), DefaultModel(), 5)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Speedup() < 1 {
+			t.Fatalf("seed %d: speedup %v < 1", seed, res.Speedup())
+		}
+		// Monotone: every extra round must not hurt.
+		if res.CyclesAfter > res.CyclesBefore {
+			t.Fatalf("seed %d: cycles increased", seed)
+		}
+	}
+}
+
+func TestWriteVerilogMAC(t *testing.T) {
+	g := mac(t)
+	est := NewEstimator(g, DefaultModel())
+	cut := est.Estimate(cutOf(g, 5, 6, 7, 8)) // whole MAC
+	var buf bytes.Buffer
+	if err := WriteVerilog(&buf, g, cut.Cut, "mac4"); err != nil {
+		t.Fatal(err)
+	}
+	v := buf.String()
+	for _, want := range []string{
+		"module mac4",
+		"input  wire signed [31:0] a",
+		"input  wire signed [31:0] e",
+		"* ", // multiplications present
+		"assign",
+		"endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("verilog missing %q:\n%s", want, v)
+		}
+	}
+	// Two multiplies, two adds.
+	if strings.Count(v, "*") != 2 {
+		t.Errorf("want 2 multiplies:\n%s", v)
+	}
+	if strings.Count(v, " + ") != 2 {
+		t.Errorf("want 2 adds:\n%s", v)
+	}
+}
+
+func TestWriteVerilogAllOps(t *testing.T) {
+	// A kernel touching every emittable operation.
+	g := dfg.New()
+	a := g.MustAddNode(dfg.OpVar, "a")
+	b := g.MustAddNode(dfg.OpVar, "b")
+	k := g.MustAddNode(dfg.OpConst, "")
+	if err := g.SetConst(k, 3); err != nil {
+		t.Fatal(err)
+	}
+	n1 := g.MustAddNode(dfg.OpSub, "", a, b)
+	n2 := g.MustAddNode(dfg.OpAbs, "", n1)
+	n3 := g.MustAddNode(dfg.OpShl, "", n2, k)
+	n4 := g.MustAddNode(dfg.OpSar, "", n3, k)
+	n5 := g.MustAddNode(dfg.OpCmpLE, "", n4, a)
+	n6 := g.MustAddNode(dfg.OpSelect, "", n5, n4, b)
+	n7 := g.MustAddNode(dfg.OpMin, "", n6, a)
+	n8 := g.MustAddNode(dfg.OpMax, "", n7, b)
+	n9 := g.MustAddNode(dfg.OpXor, "", n8, b)
+	n10 := g.MustAddNode(dfg.OpOr, "", n9, a)
+	n11 := g.MustAddNode(dfg.OpAnd, "", n10, b)
+	n12 := g.MustAddNode(dfg.OpNot, "", n11)
+	n13 := g.MustAddNode(dfg.OpNeg, "", n12)
+	_ = n13
+	g.MustFreeze()
+
+	// Cut = all non-root nodes.
+	members := []int{}
+	for v := 0; v < g.N(); v++ {
+		if !g.IsRoot(v) {
+			members = append(members, v)
+		}
+	}
+	cut := cutOf(g, members...)
+	var buf bytes.Buffer
+	if err := WriteVerilog(&buf, g, cut, ""); err != nil {
+		t.Fatal(err)
+	}
+	v := buf.String()
+	for _, want := range []string{
+		"module ise_unit", "32'sd3", ">>>", "<<<", "? ", "~", "-n",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("verilog missing %q:\n%s", want, v)
+		}
+	}
+}
+
+func TestWriteVerilogRejectsMemory(t *testing.T) {
+	g := dfg.New()
+	a := g.MustAddNode(dfg.OpVar, "a")
+	ld := g.MustAddNode(dfg.OpLoad, "ld", a)
+	g.MustFreeze()
+	cut := cutOf(g, ld)
+	var buf bytes.Buffer
+	if err := WriteVerilog(&buf, g, cut, "bad"); err == nil {
+		t.Fatal("memory op emitted as RTL")
+	}
+}

@@ -1,0 +1,215 @@
+// Package multidom enumerates multiple-vertex (generalized) dominators of
+// data-flow graph vertices.
+//
+// Generalized dominators were introduced by Gupta (POPL 1992); definition 5
+// of the paper: a set V dominates o iff (1) every path from the root to o
+// meets V, and (2) every w ∈ V lies on at least one root→o path that avoids
+// the rest of V. Dubrova et al. (ISCAS 2004) showed k-vertex dominators can
+// be enumerated in O(n^k): fix a seed set of k−1 vertices, delete it (with
+// everything it dominates) from the graph, and read the single-vertex
+// dominators of o off a Lengauer–Tarjan run on the reduced graph (§5.2).
+//
+// The Enumerator wraps a reusable solver over the augmented graph of one
+// DFG. Package enum drives the same machinery incrementally with the §5.3
+// prunings; the full enumeration here is the reference implementation used
+// by tests and by standalone dominator queries.
+package multidom
+
+import (
+	"sort"
+	"strconv"
+
+	"polyise/internal/bitset"
+	"polyise/internal/dfg"
+	"polyise/internal/domtree"
+)
+
+// Enumerator answers generalized-dominator queries for one frozen graph.
+// Not safe for concurrent use.
+type Enumerator struct {
+	g      *dfg.Graph
+	aug    *dfg.Aug
+	solver *domtree.Solver
+
+	// scratch
+	blocked *bitset.Set
+	visited *bitset.Set
+	queue   []int32
+}
+
+// New creates an Enumerator for g (which must be frozen).
+func New(g *dfg.Graph) *Enumerator {
+	aug := g.Augmented()
+	return &Enumerator{
+		g:       g,
+		aug:     aug,
+		solver:  domtree.ForwardSolver(g),
+		blocked: bitset.New(aug.N),
+		visited: bitset.New(aug.N),
+	}
+}
+
+// Graph returns the underlying DFG.
+func (e *Enumerator) Graph() *dfg.Graph { return e.g }
+
+// reachesAvoiding reports whether `to` is reachable from `from` in the
+// augmented graph when every vertex in avoid (except `from` itself) is
+// blocked. from may be the virtual source.
+func (e *Enumerator) reachesAvoiding(from, to int, avoid *bitset.Set) bool {
+	if from == to {
+		return true
+	}
+	e.visited.Clear()
+	e.queue = e.queue[:0]
+	e.visited.Add(from)
+	e.queue = append(e.queue, int32(from))
+	for len(e.queue) > 0 {
+		v := e.queue[len(e.queue)-1]
+		e.queue = e.queue[:len(e.queue)-1]
+		for _, s := range e.aug.Succs[v] {
+			si := int(s)
+			if si == to {
+				return true
+			}
+			if e.visited.Has(si) || (avoid != nil && avoid.Has(si)) {
+				continue
+			}
+			e.visited.Add(si)
+			e.queue = append(e.queue, s)
+		}
+	}
+	return false
+}
+
+// Separates reports whether blocking V disconnects the virtual source from
+// o — condition 1 of definition 5.
+func (e *Enumerator) Separates(V *bitset.Set, o int) bool {
+	if V.Has(o) {
+		// A set containing o itself trivially "separates", but such sets are
+		// not interesting dominators; treat per condition 1 literally.
+		return true
+	}
+	return !e.reachesAvoiding(e.aug.Source, o, V)
+}
+
+// Check reports whether V is a generalized dominator of o per definition 5:
+// it must separate the root from o and every member must have a private
+// root→o path avoiding the other members.
+func (e *Enumerator) Check(V []int, o int) bool {
+	if len(V) == 0 {
+		return false
+	}
+	vs := bitset.New(e.aug.N)
+	for _, w := range V {
+		if w == o || w == e.aug.Source || w == e.aug.Sink {
+			return false
+		}
+		vs.Add(w)
+	}
+	if vs.Count() != len(V) {
+		return false // duplicates
+	}
+	if !e.Separates(vs, o) {
+		return false
+	}
+	for _, w := range V {
+		vs.Remove(w)
+		// Private path: source→w avoiding V\{w}, then w→o avoiding V\{w}.
+		ok := e.reachesAvoiding(e.aug.Source, w, vs) && e.reachesAvoiding(w, o, vs)
+		vs.Add(w)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ReducedDominators runs Lengauer–Tarjan with the given seed vertices
+// blocked and appends to out every vertex u (u ≠ o, u ≠ source) that
+// single-dominates o in the reduced graph: each seeds ∪ {u} is a candidate
+// generalized dominator of o. If o is unreachable in the reduced graph, it
+// returns (out, false): the seeds already separate o.
+func (e *Enumerator) ReducedDominators(seeds *bitset.Set, o int, out []int) ([]int, bool) {
+	e.solver.Run(seeds)
+	if !e.solver.Reachable(o) {
+		return out, false
+	}
+	for u := e.solver.IDom(o); u != -1 && u != e.aug.Source; u = e.solver.IDom(u) {
+		out = append(out, u)
+	}
+	return out, true
+}
+
+// Enumerate returns every generalized dominator of o with at most maxSize
+// members, each sorted ascending, in deterministic order. Candidates are
+// generated with the Dubrova seed-set method and verified with Check, so
+// redundant separator supersets are filtered out.
+func (e *Enumerator) Enumerate(o, maxSize int) [][]int {
+	if maxSize <= 0 {
+		return nil
+	}
+	// Candidate members are the ancestors of o in the augmented graph:
+	// every user-graph ancestor (forbidden vertices included — they may feed
+	// a cut) but never the virtual source/sink or o itself.
+	anc := e.g.ReachTo(o).Members()
+
+	seen := make(map[string][]int)
+	seeds := bitset.New(e.aug.N)
+	var cur []int
+
+	var visit func(startIdx int)
+	visit = func(startIdx int) {
+		doms, reachable := e.ReducedDominators(seeds, o, nil)
+		if !reachable {
+			// Seeds already separate o; no extension can give every member a
+			// private path, so this branch is done.
+			return
+		}
+		for _, u := range doms {
+			cand := make([]int, 0, len(cur)+1)
+			cand = append(cand, cur...)
+			cand = append(cand, u)
+			sort.Ints(cand)
+			key := fmtKey(cand)
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			if e.Check(cand, o) {
+				seen[key] = cand
+			}
+		}
+		if len(cur) >= maxSize-1 {
+			return
+		}
+		for idx := startIdx; idx < len(anc); idx++ {
+			a := anc[idx]
+			seeds.Add(a)
+			cur = append(cur, a)
+			visit(idx + 1)
+			cur = cur[:len(cur)-1]
+			seeds.Remove(a)
+		}
+	}
+	visit(0)
+
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, seen[k])
+	}
+	return out
+}
+
+// fmtKey builds a canonical map key for a sorted vertex set.
+func fmtKey(v []int) string {
+	b := make([]byte, 0, len(v)*4)
+	for _, x := range v {
+		b = strconv.AppendInt(b, int64(x), 10)
+		b = append(b, ',')
+	}
+	return string(b)
+}

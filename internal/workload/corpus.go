@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+import "polyise/internal/dfg"
+
+// Block is one corpus entry: a named basic-block DFG with its size cluster.
+type Block struct {
+	Name    string
+	Cluster string // "10-79", "80-799", "800-1196", or "tree"
+	G       *dfg.Graph
+}
+
+// Cluster names used by the figure 5 reproduction, matching the paper's
+// three size groups plus the synthetic trees.
+const (
+	ClusterSmall  = "10-79"
+	ClusterMedium = "80-799"
+	ClusterLarge  = "800-1196"
+	ClusterTree   = "tree"
+)
+
+// CorpusSpec controls corpus generation. Counts follow a realistic
+// basic-block size distribution: most blocks are small, a few are very
+// large, totalling 250 like the paper's MiBench extraction.
+type CorpusSpec struct {
+	Small, Medium, Large int
+	TreeDepths           []int
+	Profile              Profile
+	// LargeProfile applies to the 800-1196 cluster. Basic blocks that big
+	// come from aggressively unrolled loops and are dominated by memory
+	// traffic (§5.3: "large basic blocks usually include many memory loads
+	// and/or stores"), which is also what keeps them tractable: forbidden
+	// memory nodes partition the search space.
+	LargeProfile Profile
+}
+
+// DefaultCorpusSpec reproduces the paper's setup: 250 synthetic MiBench-like
+// blocks across the three size clusters plus four trees of depths 4–7.
+func DefaultCorpusSpec() CorpusSpec {
+	large := DefaultProfile()
+	large.MemFrac = 0.35
+	return CorpusSpec{
+		Small:        150,
+		Medium:       80,
+		Large:        20,
+		TreeDepths:   []int{4, 5, 6, 7},
+		Profile:      DefaultProfile(),
+		LargeProfile: large,
+	}
+}
+
+// Corpus generates the deterministic benchmark corpus for the given seed.
+func Corpus(seed int64, spec CorpusSpec) []Block {
+	r := rand.New(rand.NewSource(seed))
+	var out []Block
+	add := func(cluster string, n int, p Profile) {
+		g := MiBenchLike(r, n, p)
+		out = append(out, Block{
+			Name:    fmt.Sprintf("bb-%s-%04d", cluster, len(out)),
+			Cluster: cluster,
+			G:       g,
+		})
+	}
+	largeProfile := spec.LargeProfile
+	if largeProfile == (Profile{}) {
+		largeProfile = spec.Profile
+	}
+	for i := 0; i < spec.Small; i++ {
+		add(ClusterSmall, 10+r.Intn(70), spec.Profile)
+	}
+	for i := 0; i < spec.Medium; i++ {
+		add(ClusterMedium, 80+r.Intn(720), spec.Profile)
+	}
+	for i := 0; i < spec.Large; i++ {
+		add(ClusterLarge, 800+r.Intn(397), largeProfile)
+	}
+	for _, d := range spec.TreeDepths {
+		out = append(out, Block{
+			Name:    fmt.Sprintf("tree-depth%d", d),
+			Cluster: ClusterTree,
+			G:       Tree(d, 2),
+		})
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+// Package workload generates the data-flow graphs of the paper's evaluation
+// (§6): synthetic MiBench-like basic blocks and the tree-shaped worst-case
+// graphs of figure 4.
+//
+// The original experiments used 250 basic blocks extracted from MiBench
+// with sizes between 10 and 1196 nodes. Those DFGs are not distributed with
+// the paper, so Corpus produces a synthetic stand-in: layered random DAGs
+// with an embedded-benchmark operation mix (arithmetic and logic dominant,
+// a realistic share of forbidden memory operations), bounded fan-in, and
+// operand locality. Enumeration cost depends only on topology, |F| and the
+// I/O constraint, all of which the generator reproduces, so run-time
+// comparisons keep their shape even though the instances differ.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"polyise/internal/dfg"
+)
+
+// Profile parameterizes the MiBench-like generator.
+type Profile struct {
+	// RootFrac is the fraction of nodes that are external inputs (live-in
+	// variables). Typical embedded blocks sit around 0.1–0.2.
+	RootFrac float64
+	// MemFrac is the fraction of operation nodes that are memory accesses,
+	// which are marked forbidden. Large MiBench blocks are load/store heavy
+	// (§5.3 notes "large basic blocks usually include many memory loads
+	// and/or stores").
+	MemFrac float64
+	// LiveOutFrac is the fraction of interior nodes additionally marked
+	// live-out (values observed by later blocks).
+	LiveOutFrac float64
+	// Window bounds operand locality: predecessors are drawn from the most
+	// recent Window nodes, which controls graph depth. Zero means no bound.
+	Window int
+}
+
+// DefaultProfile matches the mix used throughout the benchmark harness.
+func DefaultProfile() Profile {
+	return Profile{RootFrac: 0.15, MemFrac: 0.18, LiveOutFrac: 0.05, Window: 48}
+}
+
+// arithmetic operation mix for non-memory nodes, roughly matching an
+// embedded integer benchmark (adds and logic dominate, multiplies are
+// common, divisions rare).
+var opMix = []struct {
+	op     dfg.Op
+	weight int
+}{
+	{dfg.OpAdd, 24},
+	{dfg.OpSub, 12},
+	{dfg.OpAnd, 8},
+	{dfg.OpOr, 6},
+	{dfg.OpXor, 6},
+	{dfg.OpShl, 6},
+	{dfg.OpShr, 6},
+	{dfg.OpMul, 8},
+	{dfg.OpCmpLT, 4},
+	{dfg.OpCmpEQ, 3},
+	{dfg.OpSelect, 4},
+	{dfg.OpNot, 3},
+	{dfg.OpNeg, 2},
+	{dfg.OpAbs, 1},
+	{dfg.OpMin, 2},
+	{dfg.OpMax, 2},
+	{dfg.OpDiv, 1},
+}
+
+var opMixTotal = func() int {
+	t := 0
+	for _, m := range opMix {
+		t += m.weight
+	}
+	return t
+}()
+
+func pickOp(r *rand.Rand) dfg.Op {
+	k := r.Intn(opMixTotal)
+	for _, m := range opMix {
+		k -= m.weight
+		if k < 0 {
+			return m.op
+		}
+	}
+	return dfg.OpAdd
+}
+
+// MiBenchLike generates a frozen basic-block DFG with n nodes.
+func MiBenchLike(r *rand.Rand, n int, p Profile) *dfg.Graph {
+	if n < 2 {
+		n = 2
+	}
+	g := dfg.New()
+	roots := int(float64(n)*p.RootFrac + 0.5)
+	if roots < 1 {
+		roots = 1
+	}
+	pickPred := func(i int) int {
+		lo := 0
+		if p.Window > 0 && i > p.Window {
+			lo = i - p.Window
+		}
+		return lo + r.Intn(i-lo)
+	}
+	for i := 0; i < n; i++ {
+		// Interleave roots through the early part of the block so operand
+		// windows always contain some.
+		if i < roots || (i < 2*roots && r.Intn(3) == 0) {
+			g.MustAddNode(dfg.OpVar, fmt.Sprintf("v%d", i))
+			continue
+		}
+		if r.Float64() < p.MemFrac {
+			if r.Intn(3) == 0 {
+				// Store: consumes an address and a value, no consumers.
+				id := g.MustAddNode(dfg.OpStore, "", pickPred(i), pickPred(i))
+				mustMark(g.MarkForbidden(id))
+			} else {
+				id := g.MustAddNode(dfg.OpLoad, "", pickPred(i))
+				mustMark(g.MarkForbidden(id))
+			}
+			continue
+		}
+		op := pickOp(r)
+		arity := op.Arity()
+		preds := make([]int, arity)
+		for j := range preds {
+			preds[j] = pickPred(i)
+		}
+		id := g.MustAddNode(op, "", preds...)
+		if r.Float64() < p.LiveOutFrac {
+			mustMark(g.MarkLiveOut(id))
+		}
+	}
+	g.MustFreeze()
+	return g
+}
+
+func mustMark(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// Tree builds the tree-shaped worst case of figure 4: a complete tree of
+// the given arity whose leaves are external inputs and whose single sink is
+// the block output, all edges pointing toward the sink. depth counts edge
+// levels, so a binary tree of depth d has 2^(d+1)−1 nodes. The paper uses
+// depths 4–7 and proves algorithms like [4] take O(1.6^n) on this family.
+func Tree(depth, arity int) *dfg.Graph {
+	if depth < 1 {
+		depth = 1
+	}
+	if arity < 2 {
+		arity = 2
+	}
+	g := dfg.New()
+	// Build level by level from the leaves (roots of the DFG) down.
+	leaves := 1
+	for i := 0; i < depth; i++ {
+		leaves *= arity
+	}
+	level := make([]int, leaves)
+	for i := range level {
+		level[i] = g.MustAddNode(dfg.OpVar, fmt.Sprintf("leaf%d", i))
+	}
+	ops := []dfg.Op{dfg.OpAdd, dfg.OpXor, dfg.OpSub, dfg.OpOr}
+	d := 0
+	for len(level) > 1 {
+		next := make([]int, 0, len(level)/arity)
+		for i := 0; i < len(level); i += arity {
+			preds := level[i : i+arity]
+			id := g.MustAddNode(ops[d%len(ops)], "", preds...)
+			next = append(next, id)
+		}
+		level = next
+		d++
+	}
+	g.MustFreeze()
+	return g
+}
+
+// Chain builds a linear chain of n unary operations rooted at one input —
+// the easiest possible instance, useful as a benchmark floor.
+func Chain(n int) *dfg.Graph {
+	g := dfg.New()
+	prev := g.MustAddNode(dfg.OpVar, "x")
+	ops := []dfg.Op{dfg.OpNot, dfg.OpNeg, dfg.OpAbs}
+	for i := 1; i < n; i++ {
+		prev = g.MustAddNode(ops[i%len(ops)], "", prev)
+	}
+	g.MustFreeze()
+	return g
+}
+
+// Butterfly builds an FFT-like butterfly network with 2^stages lanes; every
+// stage combines pairs at a stride, producing a dense multi-output block —
+// a stress case for multi-output enumeration.
+func Butterfly(stages int) *dfg.Graph {
+	if stages < 1 {
+		stages = 1
+	}
+	lanes := 1 << uint(stages)
+	g := dfg.New()
+	cur := make([]int, lanes)
+	for i := range cur {
+		cur[i] = g.MustAddNode(dfg.OpVar, fmt.Sprintf("in%d", i))
+	}
+	for s := 0; s < stages; s++ {
+		stride := 1 << uint(s)
+		next := make([]int, lanes)
+		for i := 0; i < lanes; i++ {
+			j := i ^ stride
+			op := dfg.OpAdd
+			if i > j {
+				op = dfg.OpSub
+			}
+			next[i] = g.MustAddNode(op, "", cur[i], cur[j])
+		}
+		cur = next
+	}
+	g.MustFreeze()
+	return g
+}

@@ -1,0 +1,216 @@
+// Package polyise is a reproduction of Bonzini & Pozzi, "Polynomial-Time
+// Subgraph Enumeration for Automated Instruction Set Extension" (DATE 2007).
+//
+// Given the data-flow graph of a basic block and a microarchitectural
+// input/output constraint (Nin register-file read ports, Nout write ports),
+// the library enumerates every convex subgraph — candidate custom
+// instruction — in time polynomial in the graph size, scores the candidates
+// with a latency/area model, and selects an instruction set extension.
+//
+// Basic use:
+//
+//	g := polyise.NewGraph()
+//	a := g.MustAddNode(polyise.OpVar, "a")
+//	b := g.MustAddNode(polyise.OpVar, "b")
+//	sum := g.MustAddNode(polyise.OpAdd, "sum", a, b)
+//	sq := g.MustAddNode(polyise.OpMul, "sq", sum, sum)
+//	_ = sq
+//	g.MustFreeze()
+//
+//	cuts, stats := polyise.EnumerateAll(g, polyise.DefaultOptions())
+//
+// The subpackages under internal implement the substrates: Lengauer–Tarjan
+// dominators, multiple-vertex dominator enumeration, the [15]-style
+// baseline search, workload generators and the benchmark harness. This
+// package re-exports the surface a downstream user needs.
+package polyise
+
+import (
+	"io"
+
+	"polyise/internal/baseline"
+	"polyise/internal/dfg"
+	"polyise/internal/enum"
+	"polyise/internal/exprc"
+	"polyise/internal/graphio"
+	"polyise/internal/interp"
+	"polyise/internal/ise"
+	"polyise/internal/workload"
+)
+
+// Graph is a basic-block data-flow graph; see NewGraph.
+type Graph = dfg.Graph
+
+// Op identifies a node operation.
+type Op = dfg.Op
+
+// Node operation kinds.
+const (
+	OpVar    = dfg.OpVar
+	OpConst  = dfg.OpConst
+	OpAdd    = dfg.OpAdd
+	OpSub    = dfg.OpSub
+	OpMul    = dfg.OpMul
+	OpDiv    = dfg.OpDiv
+	OpRem    = dfg.OpRem
+	OpAnd    = dfg.OpAnd
+	OpOr     = dfg.OpOr
+	OpXor    = dfg.OpXor
+	OpNot    = dfg.OpNot
+	OpNeg    = dfg.OpNeg
+	OpShl    = dfg.OpShl
+	OpShr    = dfg.OpShr
+	OpSar    = dfg.OpSar
+	OpCmpEQ  = dfg.OpCmpEQ
+	OpCmpNE  = dfg.OpCmpNE
+	OpCmpLT  = dfg.OpCmpLT
+	OpCmpLE  = dfg.OpCmpLE
+	OpSelect = dfg.OpSelect
+	OpMin    = dfg.OpMin
+	OpMax    = dfg.OpMax
+	OpAbs    = dfg.OpAbs
+	OpLoad   = dfg.OpLoad
+	OpStore  = dfg.OpStore
+	OpCall   = dfg.OpCall
+)
+
+// NewGraph returns an empty, mutable data-flow graph. Add nodes with
+// AddNode/MustAddNode, mark memory or otherwise unmappable operations with
+// MarkForbidden, mark extra live-out values with MarkLiveOut, then call
+// Freeze.
+func NewGraph() *Graph { return dfg.New() }
+
+// Options configures cut enumeration (Nin/Nout, connectedness, §5.3
+// pruning toggles).
+type Options = enum.Options
+
+// DefaultOptions is the paper's standard configuration: Nin=4, Nout=2, all
+// exact prunings on.
+func DefaultOptions() Options { return enum.DefaultOptions() }
+
+// Cut is one convex subgraph with its derived inputs and outputs.
+type Cut = enum.Cut
+
+// Stats summarizes the work an enumeration performed.
+type Stats = enum.Stats
+
+// Enumerate runs the paper's polynomial-time incremental algorithm
+// (POLY-ENUM-INCR, figure 3) and streams every valid cut to visit; return
+// false from the visitor to stop early.
+func Enumerate(g *Graph, opt Options, visit func(Cut) bool) Stats {
+	return enum.Enumerate(g, opt, visit)
+}
+
+// EnumerateAll collects every valid cut, sorted deterministically.
+func EnumerateAll(g *Graph, opt Options) ([]Cut, Stats) {
+	return enum.CollectAll(g, opt)
+}
+
+// EnumerateBasic runs the non-incremental POLY-ENUM of figure 2 — the
+// reference implementation, slower but simpler.
+func EnumerateBasic(g *Graph, opt Options, visit func(Cut) bool) Stats {
+	return enum.EnumerateBasic(g, opt, visit)
+}
+
+// PrunedExhaustiveSearch runs the Pozzi–Atasu–Ienne style baseline the
+// paper compares against in figure 5 (reference [15]): a binary
+// include/exclude search with constraint propagation, exponential in the
+// worst case.
+func PrunedExhaustiveSearch(g *Graph, opt Options, visit func(Cut) bool) Stats {
+	return baseline.PrunedSearch(g, opt, visit)
+}
+
+// Model is the ISE latency/area cost model.
+type Model = ise.Model
+
+// DefaultModel returns a single-issue embedded RISC cost model.
+func DefaultModel() Model { return ise.DefaultModel() }
+
+// Estimate is a scored candidate instruction.
+type Estimate = ise.Estimate
+
+// Selection is the result of instruction selection on one block.
+type Selection = ise.Selection
+
+// SelectOptions configures instruction selection.
+type SelectOptions = ise.SelectOptions
+
+// DefaultSelectOptions returns greedy selection with unlimited resources.
+func DefaultSelectOptions() SelectOptions { return ise.DefaultSelectOptions() }
+
+// SelectISE scores the given cuts and picks a non-overlapping instruction
+// set maximizing saved cycles under the resource constraints.
+func SelectISE(g *Graph, m Model, cuts []Cut, opt SelectOptions) Selection {
+	return ise.Select(g, m, cuts, opt)
+}
+
+// IdentifyISE is the end-to-end flow: enumerate all cuts, then select.
+func IdentifyISE(g *Graph, eopt Options, m Model, sopt SelectOptions) Selection {
+	return ise.Identify(g, eopt, m, sopt)
+}
+
+// CompileExpr compiles a straight-line kernel in the exprc language into a
+// data-flow graph; see the package documentation of internal/exprc for the
+// grammar.
+func CompileExpr(src string) (*Graph, error) { return exprc.Compile(src) }
+
+// MustCompileExpr is CompileExpr that panics on error.
+func MustCompileExpr(src string) *Graph { return exprc.MustCompile(src) }
+
+// ReadGraph parses the polyise text format.
+func ReadGraph(r io.Reader) (*Graph, error) { return graphio.Read(r) }
+
+// WriteGraph serializes a frozen graph in the text format.
+func WriteGraph(w io.Writer, g *Graph) error { return graphio.Write(w, g) }
+
+// WriteDOT exports a graph as Graphviz DOT, optionally highlighting a cut.
+func WriteDOT(w io.Writer, g *Graph, highlight *Cut) error {
+	opt := graphio.DOTOptions{}
+	if highlight != nil {
+		opt.Highlight = highlight.Nodes
+	}
+	return graphio.WriteDOT(w, g, opt)
+}
+
+// TreeWorstCase builds the figure 4 tree-shaped DFG, the worst case for
+// exhaustive-search algorithms like [15].
+func TreeWorstCase(depth int) *Graph { return workload.Tree(depth, 2) }
+
+// IterativeResult is the outcome of the multi-round identification flow.
+type IterativeResult = ise.IterativeResult
+
+// IterativeIdentify repeatedly enumerates, selects the best instruction and
+// collapses it into the block (the paper's compiler-toolchain flow [8]),
+// for at most maxRounds rounds.
+func IterativeIdentify(g *Graph, eopt Options, m Model, maxRounds int) (IterativeResult, error) {
+	return ise.IterativeIdentify(g, eopt, m, maxRounds)
+}
+
+// WriteVerilog emits a combinational Verilog module implementing the cut's
+// datapath — the custom functional unit the selected instruction maps to.
+func WriteVerilog(w io.Writer, g *Graph, cut Cut, moduleName string) error {
+	return ise.WriteVerilog(w, g, cut, moduleName)
+}
+
+// ExtractCut builds a standalone graph containing only the cut's
+// computation; the mapping translates original node ids to extracted ids.
+func ExtractCut(g *Graph, cut Cut) (*Graph, map[int]int, error) {
+	return g.ExtractCut(cut.Nodes)
+}
+
+// CollapseCut rebuilds the graph with the cut replaced by a single custom
+// instruction of the given latency.
+func CollapseCut(g *Graph, cut Cut, name string, latencyCycles int) (*Graph, map[int]int, error) {
+	return g.CollapseCut(cut.Nodes, name, latencyCycles)
+}
+
+// ExecEnv configures concrete execution of a graph (see Execute).
+type ExecEnv = interp.Env
+
+// ExecResult carries every node's value after Execute.
+type ExecResult = interp.Result
+
+// Execute interprets the block on concrete 32-bit values — the semantic
+// reference the test suite uses to prove that collapsing instructions
+// preserves program meaning.
+func Execute(g *Graph, env ExecEnv) (ExecResult, error) { return interp.Run(g, env) }

@@ -1,0 +1,145 @@
+package polyise_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"polyise"
+)
+
+// absdiff builds |a−b| as a tiny demo graph.
+func absdiff() *polyise.Graph {
+	g := polyise.NewGraph()
+	a := g.MustAddNode(polyise.OpVar, "a")
+	b := g.MustAddNode(polyise.OpVar, "b")
+	d := g.MustAddNode(polyise.OpSub, "d", a, b)
+	g.MustAddNode(polyise.OpAbs, "ad", d)
+	return g.MustFreeze()
+}
+
+func ExampleEnumerateAll() {
+	g := absdiff()
+	cuts, _ := polyise.EnumerateAll(g, polyise.DefaultOptions())
+	for _, c := range cuts {
+		fmt.Printf("nodes=%v inputs=%v outputs=%v\n",
+			c.Nodes.Members(), c.Inputs, c.Outputs)
+	}
+	// Output:
+	// nodes=[2] inputs=[0 1] outputs=[2]
+	// nodes=[3] inputs=[2] outputs=[3]
+	// nodes=[2 3] inputs=[0 1] outputs=[3]
+}
+
+func ExampleIdentifyISE() {
+	g := absdiff()
+	sel := polyise.IdentifyISE(g, polyise.DefaultOptions(),
+		polyise.DefaultModel(), polyise.DefaultSelectOptions())
+	fmt.Printf("instructions=%d speedup=%.2f\n", len(sel.Chosen), sel.Speedup())
+	// Output:
+	// instructions=1 speedup=2.00
+}
+
+func ExampleCompileExpr() {
+	g, err := polyise.CompileExpr(`
+in a, b
+d = a - b
+r = abs(d)
+out r
+`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(g.N(), "nodes,", len(g.Roots()), "inputs")
+	// Output:
+	// 4 nodes, 2 inputs
+}
+
+func TestEnumerateEarlyStopPublicAPI(t *testing.T) {
+	g := absdiff()
+	n := 0
+	polyise.Enumerate(g, polyise.DefaultOptions(), func(polyise.Cut) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Fatalf("visitor calls = %d, want 1", n)
+	}
+}
+
+func TestAlgorithmsAgreeOnPublicAPI(t *testing.T) {
+	g := polyise.TreeWorstCase(4)
+	opt := polyise.DefaultOptions()
+	opt.KeepCuts = false
+	count := func(run func(*polyise.Graph, polyise.Options, func(polyise.Cut) bool) polyise.Stats) int {
+		n := 0
+		run(g, opt, func(polyise.Cut) bool { n++; return true })
+		return n
+	}
+	a := count(polyise.Enumerate)
+	b := count(polyise.PrunedExhaustiveSearch)
+	c := count(polyise.EnumerateBasic)
+	if a != b || a != c {
+		t.Fatalf("cut counts disagree: poly=%d pruned=%d basic=%d", a, b, c)
+	}
+	if a == 0 {
+		t.Fatal("no cuts found on depth-4 tree")
+	}
+}
+
+func TestGraphSerializationRoundTripPublicAPI(t *testing.T) {
+	g := absdiff()
+	var buf bytes.Buffer
+	if err := polyise.WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := polyise.ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() {
+		t.Fatalf("round trip changed node count: %d vs %d", g2.N(), g.N())
+	}
+}
+
+func TestWriteDOTHighlight(t *testing.T) {
+	g := absdiff()
+	cuts, _ := polyise.EnumerateAll(g, polyise.DefaultOptions())
+	if len(cuts) == 0 {
+		t.Fatal("no cuts")
+	}
+	var buf bytes.Buffer
+	if err := polyise.WriteDOT(&buf, g, &cuts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "digraph") {
+		t.Fatal("not DOT output")
+	}
+}
+
+func TestPaperHeadlineShape(t *testing.T) {
+	// The reproduction's headline: on the figure 4 worst case the
+	// polynomial algorithm's work grows polynomially while the exhaustive
+	// search's work grows exponentially. Compare growth factors across one
+	// depth step using the algorithms' own work counters.
+	opt := polyise.DefaultOptions()
+	opt.KeepCuts = false
+	work := func(depth int, poly bool) float64 {
+		g := polyise.TreeWorstCase(depth)
+		var s polyise.Stats
+		if poly {
+			s = polyise.Enumerate(g, opt, func(polyise.Cut) bool { return true })
+			return float64(s.LTRuns + s.Candidates)
+		}
+		s = polyise.PrunedExhaustiveSearch(g, opt, func(polyise.Cut) bool { return true })
+		return float64(s.Candidates + s.SeedsPruned)
+	}
+	polyGrowth := work(6, true) / work(5, true)
+	exGrowth := work(6, false) / work(5, false)
+	t.Logf("depth 5→6 growth: poly %.1fx, exhaustive %.1fx", polyGrowth, exGrowth)
+	if exGrowth < 1.5*polyGrowth {
+		t.Fatalf("expected exhaustive search to grow much faster (poly %.1fx, exhaustive %.1fx)",
+			polyGrowth, exGrowth)
+	}
+}
