@@ -1,0 +1,33 @@
+# Developer entry points; CI runs `make ci`.
+
+GO ?= go
+
+.PHONY: build vet test test-race bench fuzz ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: build vet
+	$(GO) test ./...
+
+# The concurrency suite (sharded enumeration, worker pool, ordered merge)
+# only proves state ownership under the race detector.
+test-race:
+	$(GO) test -race ./internal/parallel/ ./internal/enum/ ./internal/bench/
+	$(GO) test -race -run 'Parallel|Corpus' .
+
+# Paper-figure reproductions plus the serial-vs-parallel speedup pair
+# (BenchmarkParallelEnumerate, BenchmarkCorpusCuts).
+bench:
+	$(GO) test -bench=. -benchtime=1x .
+	$(GO) test -bench=. -benchtime=1x ./internal/bench/
+
+# Short fuzz run over the graphio parser; the committed seed corpus under
+# internal/graphio/testdata/ always runs as part of plain `make test`.
+fuzz:
+	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/graphio/
+
+ci: test test-race

@@ -29,7 +29,32 @@ func countCuts(b *testing.B, run func(func(polyise.Cut) bool) polyise.Stats) {
 func opts() polyise.Options {
 	o := polyise.DefaultOptions()
 	o.KeepCuts = false
+	// The figure benchmarks reproduce the paper's serial measurements;
+	// BenchmarkParallelEnumerate covers the sharded configuration.
+	o.Parallelism = 1
 	return o
+}
+
+// BenchmarkParallelEnumerate measures intra-block sharding on a single
+// large block: the same enumeration at Parallelism=1 (the paper's serial
+// algorithm) versus Parallelism=GOMAXPROCS. The two produce identical cut
+// sequences; on a machine with GOMAXPROCS ≥ 4 the sharded run is expected
+// to be at least 2× faster (top-level subtrees dominate the work and
+// shard evenly at this size).
+func BenchmarkParallelEnumerate(b *testing.B) {
+	g := workload.MiBenchLike(rand.New(rand.NewSource(17)), 220, workload.DefaultProfile())
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		opt := opts()
+		opt.Parallelism = cfg.workers
+		b.Run(cfg.name, func(b *testing.B) {
+			countCuts(b, func(v func(polyise.Cut) bool) polyise.Stats {
+				return polyise.Enumerate(g, opt, v)
+			})
+		})
+	}
 }
 
 // BenchmarkFigure5 reproduces the figure 5 run-time comparison on one

@@ -33,6 +33,8 @@ func main() {
 		large  = flag.Int("large", 20, "figure5: blocks in the 800-1196 cluster")
 		paper  = flag.Bool("paper", false,
 			"use the paper-mode approximate prunings for the polynomial algorithm")
+		par = flag.Int("parallel", 1,
+			"worker count for sharding blocks across cores (0 = GOMAXPROCS); individual timed runs stay serial")
 	)
 	flag.Parse()
 
@@ -43,6 +45,7 @@ func main() {
 	opt.MaxInputs = *nin
 	opt.MaxOutputs = *nout
 	opt.KeepCuts = false
+	opt.Parallelism = *par
 
 	switch *mode {
 	case "figure5":

@@ -39,6 +39,8 @@ func main() {
 		rtlBest   = flag.String("rtl-best", "", "write a Verilog module for the best cut")
 		iterate   = flag.Int("iterate", 0, "run N rounds of iterative identify+collapse")
 		timeout   = flag.Duration("timeout", 0, "abort enumeration after this long")
+		par       = flag.Int("parallel", 0,
+			"enumeration shard workers (0 = GOMAXPROCS, 1 = the paper's serial algorithm)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -57,6 +59,7 @@ func main() {
 	opt.MaxOutputs = *nout
 	opt.ConnectedOnly = *connected
 	opt.MaxDepth = *maxDepth
+	opt.Parallelism = *par
 	if *timeout > 0 {
 		opt.Deadline = time.Now().Add(*timeout)
 	}

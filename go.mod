@@ -1,0 +1,3 @@
+module polyise
+
+go 1.24

@@ -14,6 +14,7 @@ import (
 	"polyise/internal/baseline"
 	"polyise/internal/dfg"
 	"polyise/internal/enum"
+	"polyise/internal/parallel"
 	"polyise/internal/workload"
 )
 
@@ -55,9 +56,14 @@ type Measurement struct {
 }
 
 // Run measures one algorithm on one graph with a wall-clock budget (zero
-// means unbounded).
+// means unbounded). The measured run is always serial regardless of
+// opt.Parallelism: every figure compares single-threaded algorithm cost,
+// and sharding a timed run across the cores that time its peers would make
+// the numbers incomparable. Parallelism belongs one level up, where
+// CompareCorpus and CorpusCuts shard whole blocks.
 func Run(alg Algorithm, g *dfg.Graph, opt enum.Options, budget time.Duration) Measurement {
 	opt.KeepCuts = false
+	opt.Parallelism = 1
 	if budget > 0 {
 		opt.Deadline = time.Now().Add(budget)
 	}
@@ -114,18 +120,45 @@ func (p ComparePoint) SpeedupVsModern() float64 {
 }
 
 // CompareCorpus runs the three algorithms over a corpus with a per-run
-// budget.
+// budget. Blocks are sharded across opt.Parallelism workers (0 = auto); the
+// result slice is indexed like blocks, so the output is deterministic
+// regardless of completion order. Each individual measurement runs the
+// enumeration serially — sharding one timed run across the same cores that
+// time the others would make the figure 5 durations incomparable — so the
+// knob buys corpus throughput, not single-block latency. Blocks are claimed
+// one at a time rather than in batches: a figure 5 corpus mixes
+// 10-node and 1000-node blocks, so batching would regularly strand several
+// large blocks on one worker.
 func CompareCorpus(blocks []workload.Block, opt enum.Options, budget time.Duration) []ComparePoint {
-	out := make([]ComparePoint, 0, len(blocks))
-	for _, b := range blocks {
+	workers := parallel.Workers(opt.Parallelism)
+	out := make([]ComparePoint, len(blocks))
+	parallel.ForEach(workers, len(blocks), 1, func(i int) {
+		b := blocks[i]
 		poly := Run(AlgPoly, b.G, opt, budget)
 		pruned := Run(AlgPruned, b.G, opt, budget)
 		atasu := Run(AlgAtasu, b.G, opt, budget)
-		out = append(out, ComparePoint{
+		out[i] = ComparePoint{
 			Block: b.Name, Cluster: b.Cluster, N: b.G.N(),
 			Poly: poly, Pruned: pruned, Atasu: atasu,
-		})
-	}
+		}
+	})
+	return out
+}
+
+// CorpusCuts enumerates every block of a corpus with the polynomial
+// algorithm and returns the per-block valid-cut counts, indexed like
+// blocks. This is the throughput-oriented sibling of CompareCorpus: no
+// per-block timing is taken, so blocks are sharded across opt.Parallelism
+// workers in small batches (cheap small blocks amortize the claim; the few
+// large ones still migrate freely). The per-block enumeration itself runs
+// serially (Run enforces this) — for a multi-block corpus, block-level
+// sharding alone already saturates the cores without oversubscribing them.
+func CorpusCuts(blocks []workload.Block, opt enum.Options, budget time.Duration) []int {
+	workers := parallel.Workers(opt.Parallelism)
+	out := make([]int, len(blocks))
+	parallel.ForEach(workers, len(blocks), 2, func(i int) {
+		out[i] = Run(AlgPoly, blocks[i].G, opt, budget).Cuts
+	})
 	return out
 }
 

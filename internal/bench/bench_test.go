@@ -2,7 +2,9 @@ package bench
 
 import (
 	"bytes"
+	"fmt"
 	"math"
+	"math/rand"
 	"strings"
 	"testing"
 	"time"
@@ -109,5 +111,93 @@ func TestGrowthExponentSmoke(t *testing.T) {
 	// The exponent must be positive and bounded by the theoretical 7.
 	if k <= 0 || k > 7.5 {
 		t.Fatalf("implausible growth exponent %v", k)
+	}
+}
+
+// speedupCorpus is the multi-block corpus behind the block-level sharding
+// tests and benchmarks: enough small blocks that a serial sweep leaves
+// other cores idle for a measurable stretch, while any single block stays
+// cheap enough for CI.
+func speedupCorpus() []workload.Block {
+	spec := workload.CorpusSpec{Small: 24, Profile: workload.DefaultProfile()}
+	return workload.Corpus(7, spec)
+}
+
+// TestCorpusCutsParallelMatchesSerial is the block-level differential
+// check: sharding a corpus across workers must reproduce the serial
+// per-block counts exactly, in the serial order.
+func TestCorpusCutsParallelMatchesSerial(t *testing.T) {
+	blocks := speedupCorpus()
+	serialOpt := enum.DefaultOptions()
+	serialOpt.Parallelism = 1
+	serial := CorpusCuts(blocks, serialOpt, 0)
+	parOpt := enum.DefaultOptions()
+	parOpt.Parallelism = 6
+	par := CorpusCuts(blocks, parOpt, 0)
+	if len(serial) != len(par) {
+		t.Fatalf("result lengths differ: %d vs %d", len(serial), len(par))
+	}
+	total := 0
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("block %d (%s): %d cuts serial, %d sharded",
+				i, blocks[i].Name, serial[i], par[i])
+		}
+		total += serial[i]
+	}
+	if total == 0 {
+		t.Fatal("corpus produced no cuts; the comparison is vacuous")
+	}
+}
+
+// TestCompareCorpusParallelDeterministic checks CompareCorpus's sharded
+// result placement: block names and cut counts must land at the same
+// indices as a serial run (durations of course differ).
+func TestCompareCorpusParallelDeterministic(t *testing.T) {
+	// Hand-sized blocks: small enough that the two exhaustive baselines
+	// finish well inside the budget, so every cut count is exact and
+	// run-to-run comparable.
+	var blocks []workload.Block
+	for i, n := range []int{14, 18, 22, 26, 30, 34} {
+		blocks = append(blocks, workload.Block{
+			Name:    fmt.Sprintf("diff-%02d", i),
+			Cluster: workload.ClusterSmall,
+			G:       workload.MiBenchLike(rand.New(rand.NewSource(int64(i+1))), n, workload.DefaultProfile()),
+		})
+	}
+	serialOpt := enum.DefaultOptions()
+	serialOpt.Parallelism = 1
+	parOpt := enum.DefaultOptions()
+	parOpt.Parallelism = 5
+	a := CompareCorpus(blocks, serialOpt, time.Minute)
+	b := CompareCorpus(blocks, parOpt, time.Minute)
+	for i := range a {
+		if a[i].Block != b[i].Block || a[i].Poly.Cuts != b[i].Poly.Cuts ||
+			a[i].Atasu.Cuts != b[i].Atasu.Cuts || a[i].Pruned.Cuts != b[i].Pruned.Cuts {
+			t.Fatalf("index %d diverges: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// BenchmarkCorpusCuts measures the block-level worker pool on a multi-block
+// corpus: `serial` is the paper-faithful single-goroutine sweep, `parallel`
+// shards blocks across GOMAXPROCS. On a machine with GOMAXPROCS ≥ 4 the
+// parallel sweep is expected to finish the corpus at least 2× faster
+// (blocks are independent; the only serial residue is the final block tail).
+func BenchmarkCorpusCuts(b *testing.B) {
+	blocks := speedupCorpus()
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			opt := enum.DefaultOptions()
+			opt.Parallelism = cfg.workers
+			opt.KeepCuts = false
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				CorpusCuts(blocks, opt, 0)
+			}
+		})
 	}
 }

@@ -2,11 +2,13 @@ package enum
 
 import (
 	"slices"
+	"sync/atomic"
 	"time"
 
 	"polyise/internal/bitset"
 	"polyise/internal/dfg"
 	"polyise/internal/domtree"
+	"polyise/internal/parallel"
 )
 
 // Enumerate is POLY-ENUM-INCR of figure 3: it chooses outputs and inputs
@@ -28,13 +30,80 @@ import (
 // per the output–output pruning) is validated against the full §3 problem
 // statement and deduplicated, so the visitor sees each valid cut exactly
 // once. The visitor may return false to stop early.
+//
+// Options.Parallelism selects between the serial algorithm (1, the paper's
+// configuration) and the sharded parallel one (0 = one shard worker per
+// GOMAXPROCS, n = n workers). Both visit the same cuts in the same order;
+// the package comment of parallel.go states the guarantees and the small
+// differences in the returned Stats.
 func Enumerate(g *dfg.Graph, opt Options, visit func(Cut) bool) Stats {
-	n := g.N()
-	e := &incEnum{
-		g:       g,
-		opt:     opt,
+	if w := parallel.Workers(opt.Parallelism); w > 1 && g.N() > 1 {
+		return enumerateParallel(g, opt, visit, w)
+	}
+	sh := newEnumShared(g, opt)
+	e := sh.newWorker(visit, nil)
+	for pos := range g.Topo() {
+		if e.stopped {
+			break
+		}
+		e.topLevel(pos)
+	}
+	return e.stats
+}
+
+// enumShared is the per-graph setup every shard of one enumeration shares.
+// Everything in it is immutable after newEnumShared returns, so shards can
+// read it concurrently without synchronization.
+type enumShared struct {
+	g       *dfg.Graph
+	opt     Options
+	pdt     *domtree.Tree
+	entries []int // roots ∪ user-forbidden: virtual-source successors
+	byDepth []int // vertices in reverse topological order
+}
+
+func newEnumShared(g *dfg.Graph, opt Options) *enumShared {
+	sh := &enumShared{g: g, opt: opt}
+	pds := domtree.ReverseSolver(g)
+	pds.Run(nil)
+	sh.pdt = pds.BuildTree()
+
+	// Entry points of the augmented graph: the virtual source precedes
+	// every root and every forbidden vertex (§3).
+	for v := 0; v < g.N(); v++ {
+		if g.IsRoot(v) || g.IsUserForbidden(v) {
+			sh.entries = append(sh.entries, v)
+		}
+	}
+
+	// Seed candidates are iterated deepest-first (reverse topological
+	// order), matching the paper's intent that the most immediate dominator
+	// seeds are met before their ancestors.
+	sh.byDepth = make([]int, g.N())
+	copy(sh.byDepth, g.Topo())
+	for i, j := 0, len(sh.byDepth)-1; i < j; i, j = i+1, j-1 {
+		sh.byDepth[i], sh.byDepth[j] = sh.byDepth[j], sh.byDepth[i]
+	}
+	return sh
+}
+
+// newWorker allocates one enumeration worker with private mutable state (the
+// clone-per-shard ownership the parallel enumeration relies on): validator,
+// dedup map, every bitset scratch buffer and the flow solver are owned
+// exclusively by the returned worker. ext, when non-nil, is an external stop
+// flag polled during the search (used to cancel sibling shards after an
+// early visitor stop).
+func (sh *enumShared) newWorker(visit func(Cut) bool, ext *atomic.Bool) *incEnum {
+	n := sh.g.N()
+	return &incEnum{
+		g:       sh.g,
+		opt:     sh.opt,
 		visit:   visit,
-		val:     NewValidator(g, opt),
+		pdt:     sh.pdt,
+		entries: sh.entries,
+		byDepth: sh.byDepth,
+		ext:     ext,
+		val:     NewValidator(sh.g, sh.opt),
 		seen:    make(map[[2]uint64]bool),
 		S:       bitset.New(n),
 		Iuser:   bitset.New(n),
@@ -44,29 +113,6 @@ func Enumerate(g *dfg.Graph, opt Options, visit func(Cut) bool) Stats {
 		front:   bitset.New(n),
 		diff:    make([]int32, n+1),
 	}
-	pds := domtree.ReverseSolver(g)
-	pds.Run(nil)
-	e.pdt = pds.BuildTree()
-
-	// Entry points of the augmented graph: the virtual source precedes
-	// every root and every forbidden vertex (§3).
-	for v := 0; v < n; v++ {
-		if g.IsRoot(v) || g.IsUserForbidden(v) {
-			e.entries = append(e.entries, v)
-		}
-	}
-
-	// Seed candidates are iterated deepest-first (reverse topological
-	// order), matching the paper's intent that the most immediate dominator
-	// seeds are met before their ancestors.
-	e.byDepth = make([]int, g.N())
-	copy(e.byDepth, g.Topo())
-	for i, j := 0, len(e.byDepth)-1; i < j; i, j = i+1, j-1 {
-		e.byDepth[i], e.byDepth[j] = e.byDepth[j], e.byDepth[i]
-	}
-
-	e.pickOutput(0, -1, opt.MaxInputs, opt.MaxOutputs)
-	return e.stats
 }
 
 type incEnum struct {
@@ -77,6 +123,7 @@ type incEnum struct {
 	val   *Validator
 	stats Stats
 	seen  map[[2]uint64]bool
+	ext   *atomic.Bool // external stop flag; nil in serial runs
 
 	S      *bitset.Set // current cut (user capacity)
 	Iuser  *bitset.Set // chosen inputs
@@ -308,6 +355,32 @@ func (e *incEnum) permanentOutput(v int) bool {
 		}
 	}
 	return false
+}
+
+// topLevel explores the complete search subtree rooted at the depth-0
+// output candidate sitting at topological position pos, leaving the worker
+// state as it found it (empty). The serial algorithm calls it for every
+// position in order; the sharded parallel one hands positions to workers,
+// because distinct first-output subtrees never share search state — only
+// the cut deduplication couples them, and that moves into the merge stage.
+func (e *incEnum) topLevel(pos int) {
+	if e.stopped || e.opt.MaxOutputs <= 0 {
+		return
+	}
+	o := e.g.Topo()[pos]
+	if !e.admissibleOutput(o) {
+		return
+	}
+	e.stats.OutputsTried++
+	e.outs = append(e.outs, o)
+	e.outSet.Add(o)
+	e.rebuildS()
+	if e.viable(e.opt.MaxInputs) {
+		e.pickInputs(1, pos, o, e.opt.MaxInputs, e.opt.MaxOutputs-1, 0, len(e.Ilist), nil, nil)
+	}
+	e.outSet.Remove(o)
+	e.outs = e.outs[:len(e.outs)-1]
+	e.S.Clear()
 }
 
 // pickOutput implements PICK-OUTPUT: choose the next output o, grow S by
@@ -627,9 +700,15 @@ func (e *incEnum) popInput(w int) {
 	e.Ilist = e.Ilist[:len(e.Ilist)-1]
 }
 
-// checkDeadline aborts the search when Options.Deadline has passed; it is
-// sampled every few thousand candidate checks to keep the cost negligible.
+// checkDeadline aborts the search when the external stop flag is raised or
+// Options.Deadline has passed. The flag is an atomic load, checked on every
+// call; the wall clock is sampled only every few thousand checks to keep
+// its cost negligible.
 func (e *incEnum) checkDeadline() {
+	if e.ext != nil && e.ext.Load() {
+		e.stopped = true
+		return
+	}
 	if e.opt.Deadline.IsZero() {
 		return
 	}

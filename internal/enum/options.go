@@ -30,6 +30,18 @@ type Options struct {
 	// MaxOutputs is Nout, the register-file write ports. Must be ≥ 1.
 	MaxOutputs int
 
+	// Parallelism selects how many workers the enumeration shards its
+	// top-level search subtrees across: 0 means auto (GOMAXPROCS), 1 runs
+	// the serial paper algorithm, and any larger value is taken literally
+	// (oversubscribing GOMAXPROCS is allowed). Parallel runs visit exactly
+	// the same cuts in exactly the same order as serial runs — the
+	// differential tests enforce this — at the cost of small, documented
+	// differences in the Duplicates/Invalid attribution of Stats (see
+	// internal/enum/parallel.go). Corpus-level drivers (internal/bench,
+	// cmd/compare) reuse the same knob to shard across basic blocks
+	// instead. Use Parallelism=1 to reproduce the paper's serial numbers.
+	Parallelism int
+
 	// ConnectedOnly restricts the search to connected cuts (definition 4),
 	// the Yu–Mitra style restriction discussed in §2 and §5.3.
 	ConnectedOnly bool

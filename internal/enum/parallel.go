@@ -1,0 +1,167 @@
+package enum
+
+// Sharded parallel POLY-ENUM-INCR. The top level of the incremental search
+// chooses the first output by walking the topological order, and the
+// subtree under each first-output choice touches no search state of any
+// other subtree (topLevel resets the worker between positions). That makes
+// first-output positions the natural shard grain: workers claim positions
+// dynamically, each running the exact serial algorithm on its own
+// clone-per-shard state (validator, dedup map, bitset scratch, flow
+// solver), and a merge stage reassembles the per-position cut streams in
+// position order.
+//
+// Determinism. The serial enumeration visits cuts in a well-defined order:
+// the concatenation, over first-output positions, of each subtree's
+// discovery sequence, with a global first-occurrence dedup. The parallel
+// enumeration reproduces that order exactly. Each shard dedups within its
+// subtree only (the dedup map is cleared per position, so a position's
+// stream is a pure function of the graph, the options and the position),
+// and the merge stage performs the cross-subtree dedup with first-wins
+// semantics while draining positions in ascending order. The visitor
+// therefore sees the same cuts, in the same order, as Parallelism=1 —
+// including the same prefix when it stops the enumeration early. Under
+// Options.Deadline the visited sequence is still a prefix of the serial
+// order (a timed-out shard raises the shared stop before closing its
+// truncated stream, so the merge never visits past the first incomplete
+// subtree), though not necessarily the same prefix a serial run with the
+// same deadline would reach — shards progress at different rates.
+//
+// Stats. Candidates, Valid, Duplicates, LTRuns, SeedsPruned and
+// OutputsTried aggregate across shards; Valid and Duplicates are corrected
+// at the merge so Valid counts distinct visited cuts and the examined mass
+// Valid + Invalid + Duplicates matches the serial run. Two counters can
+// still differ from a serial run: a candidate that repeats an
+// already-INVALID vertex set from another shard's subtree is re-validated
+// (counting Invalid) where the serial run's global dedup map would have
+// counted a Duplicate; and after an early visitor stop, shards already past
+// the stopped prefix report work a serial run would never have started.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"polyise/internal/dfg"
+	"polyise/internal/parallel"
+)
+
+// shardStreamBuf bounds the number of undrained cuts buffered per
+// first-output position. Producers ahead of the merge frontier block once
+// their position's buffer fills, so total in-flight memory is at most
+// workers×shardStreamBuf cuts beyond the frontier.
+const shardStreamBuf = 64
+
+// streamBuf shrinks the per-position buffer on very large graphs: the
+// merge allocates one channel per node up front, and while only ~workers
+// streams ever hold data, the buffer backing is paid for all n. Capping
+// the total slot count keeps the up-front cost a few MB even for
+// blocks far beyond the corpus's 1196-node ceiling.
+func streamBuf(n int) int {
+	const totalSlots = 1 << 18
+	if b := totalSlots / n; b < shardStreamBuf {
+		if b < 4 {
+			return 4
+		}
+		return b
+	}
+	return shardStreamBuf
+}
+
+// enumerateParallel runs the sharded enumeration with the given worker
+// count (≥ 2). The caller guarantees g is frozen and has at least 2 nodes.
+func enumerateParallel(g *dfg.Graph, opt Options, visit func(Cut) bool, workers int) Stats {
+	n := g.N()
+	sh := newEnumShared(g, opt)
+
+	// Shards must hand cuts across goroutines, so their node sets are
+	// always cloned regardless of the caller's KeepCuts; the visitor
+	// contract ("shared scratch, valid only during the call" when KeepCuts
+	// is off) is trivially satisfied by the clone.
+	sopt := opt
+	sopt.KeepCuts = true
+	sh.opt = sopt
+
+	ord := parallel.NewOrdered[Cut](n, streamBuf(n))
+	var stop atomic.Bool
+	var next atomic.Int64
+	var mu sync.Mutex
+	var agg Stats
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cur := -1
+			e := sh.newWorker(func(c Cut) bool {
+				ord.Emit(cur, c)
+				return !stop.Load()
+			}, &stop)
+			for {
+				pos := int(next.Add(1)) - 1
+				if pos >= n {
+					break
+				}
+				// After a stop (early visitor stop or a deadline) keep
+				// claiming positions so every stream gets closed — the
+				// merge drains all n of them.
+				if !e.stopped && !stop.Load() {
+					cur = pos
+					clear(e.seen)
+					e.topLevel(pos)
+				}
+				// A shard that hits the deadline raises the shared stop
+				// BEFORE closing its truncated stream. The merge observes
+				// the close only after draining that stream, and a channel
+				// close is an acquire/release pair, so by the time the
+				// drain advances past this position it is guaranteed to
+				// see the flag and stop visiting. The visitor therefore
+				// receives a coherent prefix — complete subtrees up to the
+				// timed-out position plus that position's partial stream —
+				// exactly the shape a serial timeout produces.
+				if e.stats.TimedOut {
+					stop.Store(true)
+				}
+				ord.Close(pos)
+			}
+			mu.Lock()
+			addStats(&agg, e.stats)
+			mu.Unlock()
+		}()
+	}
+
+	// Merge stage: drain position streams in ascending order, dedup across
+	// subtrees (first occurrence wins, matching the serial global dedup),
+	// and feed the caller's visitor until it stops. Draining continues
+	// after a stop so blocked producers always finish.
+	seen := make(map[[2]uint64]bool)
+	emitted, unique := 0, 0
+	ord.Drain(func(c Cut) {
+		emitted++
+		sig := c.Nodes.Hash128()
+		if seen[sig] {
+			return
+		}
+		seen[sig] = true
+		unique++
+		if !stop.Load() && !visit(c) {
+			stop.Store(true)
+		}
+	})
+	wg.Wait()
+
+	agg.Valid = unique
+	agg.Duplicates += emitted - unique
+	return agg
+}
+
+// addStats accumulates one shard's counters into the aggregate.
+func addStats(dst *Stats, s Stats) {
+	dst.Valid += s.Valid
+	dst.Candidates += s.Candidates
+	dst.Duplicates += s.Duplicates
+	dst.Invalid += s.Invalid
+	dst.LTRuns += s.LTRuns
+	dst.SeedsPruned += s.SeedsPruned
+	dst.OutputsTried += s.OutputsTried
+	dst.TimedOut = dst.TimedOut || s.TimedOut
+}

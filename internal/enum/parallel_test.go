@@ -1,0 +1,132 @@
+package enum_test
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"math/rand"
+
+	"polyise/internal/enum"
+	"polyise/internal/workload"
+)
+
+// Concurrency behaviour of the sharded enumeration: early stop, stress
+// beyond GOMAXPROCS, and deadline handling. All of these run under -race in
+// CI (`make test-race`), which is what actually verifies the clone-per-shard
+// state ownership — the assertions below only pin the observable semantics.
+
+// TestParallelEarlyStop verifies the early-stop contract: a visitor that
+// returns false after k cuts sees exactly the serial enumeration's first k
+// cuts, and the enumeration terminates (shards are cancelled, the merge
+// drains) rather than hanging.
+func TestParallelEarlyStop(t *testing.T) {
+	g := workload.MiBenchLike(rand.New(rand.NewSource(3)), 60, workload.DefaultProfile())
+	sopt := enum.DefaultOptions()
+	sopt.Parallelism = 1
+	serial := visitSequence(g, sopt)
+	if len(serial) < 10 {
+		t.Fatalf("reference graph yields only %d cuts; pick a richer seed", len(serial))
+	}
+
+	for _, k := range []int{1, 3, len(serial) / 2} {
+		popt := enum.DefaultOptions()
+		popt.Parallelism = 4
+		popt.KeepCuts = true
+		var got []string
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			enum.Enumerate(g, popt, func(c enum.Cut) bool {
+				got = append(got, c.String())
+				return len(got) < k
+			})
+		}()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("k=%d: early-stopped parallel enumeration did not terminate", k)
+		}
+		if !reflect.DeepEqual(got, serial[:k]) {
+			t.Fatalf("k=%d: stopped prefix diverges from serial\ngot  %v\nwant %v", k, got, serial[:k])
+		}
+	}
+}
+
+// TestParallelOversubscribed stress-tests worker counts far beyond
+// GOMAXPROCS: correctness must not depend on shards actually running in
+// parallel, only on the merge order.
+func TestParallelOversubscribed(t *testing.T) {
+	g := workload.MiBenchLike(rand.New(rand.NewSource(9)), 80, workload.DefaultProfile())
+	sopt := enum.DefaultOptions()
+	sopt.Parallelism = 1
+	serial := visitSequence(g, sopt)
+
+	workers := 4*runtime.GOMAXPROCS(0) + 3
+	popt := enum.DefaultOptions()
+	popt.Parallelism = workers
+	if got := visitSequence(g, popt); !reflect.DeepEqual(serial, got) {
+		t.Fatalf("workers=%d: sequence diverges (%d vs %d cuts)", workers, len(got), len(serial))
+	}
+}
+
+// TestParallelManyShardsSmallGraph drives the degenerate split where there
+// are more workers than top-level positions.
+func TestParallelManyShardsSmallGraph(t *testing.T) {
+	g := ladder(t)
+	sopt := enum.DefaultOptions()
+	sopt.Parallelism = 1
+	serial := visitSequence(g, sopt)
+	popt := enum.DefaultOptions()
+	popt.Parallelism = 32
+	if got := visitSequence(g, popt); !reflect.DeepEqual(serial, got) {
+		t.Fatalf("32 workers on an 8-node graph diverge: %v vs %v", got, serial)
+	}
+}
+
+// TestParallelExpiredDeadline checks that a deadline in the past stops all
+// shards promptly and is reported, with no hang on the merge.
+func TestParallelExpiredDeadline(t *testing.T) {
+	g := workload.MiBenchLike(rand.New(rand.NewSource(5)), 400, workload.DefaultProfile())
+	opt := enum.DefaultOptions()
+	opt.Parallelism = 4
+	opt.Deadline = time.Now().Add(-time.Second)
+	done := make(chan enum.Stats, 1)
+	go func() {
+		done <- enum.Enumerate(g, opt, func(enum.Cut) bool { return true })
+	}()
+	select {
+	case stats := <-done:
+		if !stats.TimedOut {
+			t.Fatalf("expired deadline not reported: %+v", stats)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("parallel enumeration ignored an expired deadline")
+	}
+}
+
+// TestParallelVisitorGetsOwnedCuts verifies that parallel enumeration hands
+// the visitor cuts whose node sets survive the callback (they crossed a
+// goroutine boundary, so they are always clones), even with KeepCuts off.
+func TestParallelVisitorGetsOwnedCuts(t *testing.T) {
+	g := workload.MiBenchLike(rand.New(rand.NewSource(3)), 40, workload.DefaultProfile())
+	opt := enum.DefaultOptions()
+	opt.Parallelism = 3
+	opt.KeepCuts = false
+	var kept []enum.Cut
+	enum.Enumerate(g, opt, func(c enum.Cut) bool {
+		kept = append(kept, c)
+		return true
+	})
+	seen := map[string]bool{}
+	for _, c := range kept {
+		if seen[c.Nodes.Signature()] {
+			t.Fatal("a retained cut's node set was overwritten by a later one")
+		}
+		seen[c.Nodes.Signature()] = true
+	}
+	if len(kept) == 0 {
+		t.Fatal("expected cuts")
+	}
+}

@@ -1,0 +1,118 @@
+package graphio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"polyise/internal/dfg"
+)
+
+// FuzzRead hardens the text-format parser against arbitrary input — the
+// corpus sharding pipeline feeds whole directories of block files to
+// workers, so a malformed file must come back as an error, never a panic.
+// On accepted inputs the parser is additionally held to the round-trip
+// contract: Write∘Read must reproduce the graph exactly.
+//
+// Seed corpus: the committed files under testdata/fuzz/FuzzRead (run by
+// plain `go test` too), the hand-written fixtures under testdata/, plus the
+// inline seeds below. Extend it with `go test -fuzz=FuzzRead ./internal/graphio`.
+func FuzzRead(f *testing.F) {
+	f.Add("node var name=a\nnode var name=b\nnode add name=s preds=0,1\n")
+	f.Add("# comment\n\nnode const const=42\nnode load preds=0 forbidden\n")
+	f.Add("node var\nnode neg preds=0 liveout\nnode store preds=0,1\n")
+	f.Add("node mul preds=0,0\n")   // bad pred: refers to itself
+	f.Add("node add preds=-1,0\n")  // negative pred
+	f.Add("node bogus\n")           // unknown op
+	f.Add("node const const=1e9\n") // malformed integer
+	f.Add("nodeadd\nnode\n node var x=1\n")
+	f.Add("node var name=\xff\xfe\n") // non-UTF8 name
+	f.Add(strings.Repeat("node var\n", 100))
+	for _, fixture := range readFixtures(f) {
+		f.Add(fixture)
+	}
+
+	f.Fuzz(func(t *testing.T, input string) {
+		// The parser has no size cap by design (callers feed trusted
+		// corpora); bound the fuzz exploration instead so pathological
+		// inputs exercise parsing, not the O(n²) reachability closure of
+		// Freeze on a hundred-thousand-node graph.
+		if len(input) > 1<<16 {
+			t.Skip()
+		}
+		g, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejected cleanly
+		}
+		if g == nil || !g.Frozen() {
+			t.Fatal("Read returned a nil or unfrozen graph without error")
+		}
+
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("Write of accepted graph failed: %v", err)
+		}
+		g2, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-Read of written graph failed: %v\n%s", err, buf.String())
+		}
+		assertSameGraph(t, g, g2)
+	})
+}
+
+// readFixtures loads every committed .dfg fixture as an extra seed.
+func readFixtures(f *testing.F) []string {
+	f.Helper()
+	paths, _ := filepath.Glob(filepath.Join("testdata", "*.dfg"))
+	var out []string
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatalf("fixture %s: %v", p, err)
+		}
+		out = append(out, string(data))
+	}
+	return out
+}
+
+// assertSameGraph compares the structural content the text format carries.
+// Write canonicalizes some sugar (it may drop an unwritable liveout mark or
+// a redundant forbidden on a call), so the comparison uses the frozen
+// graph's semantics, which is what every consumer reads.
+func assertSameGraph(t *testing.T, a, b *dfg.Graph) {
+	t.Helper()
+	if a.N() != b.N() {
+		t.Fatalf("round trip changed node count: %d -> %d", a.N(), b.N())
+	}
+	for v := 0; v < a.N(); v++ {
+		if a.Op(v) != b.Op(v) {
+			t.Fatalf("node %d: op %v -> %v", v, a.Op(v), b.Op(v))
+		}
+		if a.Name(v) != b.Name(v) {
+			t.Fatalf("node %d: name %q -> %q", v, a.Name(v), b.Name(v))
+		}
+		ap, bp := a.Preds(v), b.Preds(v)
+		if len(ap) != len(bp) {
+			t.Fatalf("node %d: %d preds -> %d", v, len(ap), len(bp))
+		}
+		for i := range ap {
+			if ap[i] != bp[i] {
+				t.Fatalf("node %d pred %d: %d -> %d", v, i, ap[i], bp[i])
+			}
+		}
+		if a.IsForbidden(v) != b.IsForbidden(v) {
+			t.Fatalf("node %d: forbidden %v -> %v", v, a.IsForbidden(v), b.IsForbidden(v))
+		}
+		if a.IsLiveOut(v) != b.IsLiveOut(v) {
+			t.Fatalf("node %d: liveout %v -> %v", v, a.IsLiveOut(v), b.IsLiveOut(v))
+		}
+		switch a.Op(v) {
+		case dfg.OpConst, dfg.OpCustom, dfg.OpExtract:
+			if a.ConstValue(v) != b.ConstValue(v) {
+				t.Fatalf("node %d: const %d -> %d", v, a.ConstValue(v), b.ConstValue(v))
+			}
+		}
+	}
+}

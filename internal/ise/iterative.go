@@ -45,6 +45,11 @@ func (r IterativeResult) Speedup() float64 {
 // non-overlapping instructions without re-examining overlapping candidates,
 // and it models the real compiler pipeline: each selected instruction
 // becomes an opaque unit of the ISA.
+//
+// Each round's enumeration honors eopt.Parallelism; because the parallel
+// enumeration visits cuts in the serial order, the chosen instruction — and
+// therefore the whole iterative trajectory — is identical at any worker
+// count.
 func IterativeIdentify(g *dfg.Graph, eopt enum.Options, m Model, maxRounds int) (IterativeResult, error) {
 	if maxRounds <= 0 {
 		maxRounds = 8

@@ -166,7 +166,11 @@ func exactSelect(n int, cands []Estimate, opt SelectOptions) []Estimate {
 
 // Identify is the end-to-end flow: enumerate all cuts of g under the port
 // constraints, then select custom instructions. It is the programmatic
-// equivalent of the paper's compiler-toolchain use ([8], §7).
+// equivalent of the paper's compiler-toolchain use ([8], §7). The
+// enumeration honors eopt.Parallelism (0 shards the search across
+// GOMAXPROCS workers; 1 reproduces the paper's serial run); selection
+// itself is deterministic either way because parallel enumeration preserves
+// the serial cut order.
 func Identify(g *dfg.Graph, eopt enum.Options, m Model, sopt SelectOptions) Selection {
 	cuts, _ := enum.CollectAll(g, eopt)
 	return Select(g, m, cuts, sopt)

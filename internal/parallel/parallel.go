@@ -1,0 +1,132 @@
+// Package parallel is the shared concurrency substrate of polyise: a
+// work-stealing index pool with batching, and a deterministic ordered merge
+// of per-index result streams.
+//
+// Both enumeration grain sizes use it. Block-level sharding (a corpus of
+// basic blocks spread over GOMAXPROCS workers, internal/bench) claims block
+// indices from a Pool and writes results into a slice, so the merged output
+// is ordered exactly as the serial loop would have produced it. Intra-block
+// sharding (internal/enum's parallel Enumerate) additionally needs the
+// *streams* of per-shard results interleaved deterministically, which
+// Ordered provides: producers emit into per-index channels out of order,
+// one consumer drains them in strict index order.
+//
+// The package deliberately contains no enumeration logic: it only moves
+// indices and values, so it can be raced-tested in isolation.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a parallelism knob to a concrete worker count: any value
+// below 1 means "auto" (GOMAXPROCS); anything else is taken literally.
+// Values above GOMAXPROCS are allowed — oversubscription is harmless for
+// correctness and the stress tests rely on it.
+func Workers(knob int) int {
+	if knob < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return knob
+}
+
+// ForEach runs fn(i) for every i in [0, n) across `workers` goroutines and
+// blocks until all calls have returned. Indices are claimed dynamically in
+// contiguous batches of `batch` (values below 1 mean 1) from an atomic
+// counter, so cheap items amortize the claim and expensive items cannot
+// stall a statically assigned peer. fn must be safe for concurrent calls
+// with distinct i; every index is passed exactly once.
+func ForEach(workers, n, batch int, fn func(i int)) {
+	workers = Workers(workers)
+	if batch < 1 {
+		batch = 1
+	}
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(next.Add(int64(batch))) - batch
+				if start >= n {
+					return
+				}
+				end := start + batch
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Ordered merges per-index streams, produced concurrently and out of order,
+// into the single sequence a serial loop over the indices would have
+// produced. Producers Emit values for an index and Close it exactly once;
+// one consumer calls Drain, which yields every value of index 0, then every
+// value of index 1, and so on.
+//
+// Emit blocks when an index's buffer is full, which bounds memory: at most
+// workers×buf values sit in flight ahead of the drain frontier.
+//
+// Protocol. Producers must claim indices in ascending order (e.g. from a
+// shared atomic counter), finishing — and closing — one claim before taking
+// the next, and every index must eventually be closed. Under that
+// discipline the merge cannot deadlock: the lowest unclosed index is either
+// claimed, so its producer emits into the stream Drain is currently
+// reading, or unclaimed, in which case all lower indices are closed and
+// some producer's next claim reaches it. Claiming out of ascending order
+// voids the guarantee — a producer blocked on a high index can then starve
+// the unproduced low index Drain is waiting for.
+type Ordered[T any] struct {
+	chans []chan T
+}
+
+// NewOrdered returns an Ordered merge over n indices with a per-index
+// buffer of buf values.
+func NewOrdered[T any](n, buf int) *Ordered[T] {
+	o := &Ordered[T]{chans: make([]chan T, n)}
+	for i := range o.chans {
+		o.chans[i] = make(chan T, buf)
+	}
+	return o
+}
+
+// Emit appends v to index i's stream. It may block until the consumer
+// drains earlier indices.
+func (o *Ordered[T]) Emit(i int, v T) { o.chans[i] <- v }
+
+// Close marks index i's stream complete. Every index must be closed exactly
+// once for Drain to terminate.
+func (o *Ordered[T]) Close(i int) { close(o.chans[i]) }
+
+// Drain consumes the streams in strict index order, calling visit for every
+// value. It returns when all indices are closed and drained. Early
+// termination is the caller's business: keep consuming (discarding) so
+// blocked producers can finish.
+func (o *Ordered[T]) Drain(visit func(T)) {
+	for _, ch := range o.chans {
+		for v := range ch {
+			visit(v)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkers(t *testing.T) {
+	max := runtime.GOMAXPROCS(0)
+	cases := map[int]int{-1: max, 0: max, 1: 1, 3: 3, 100: 100}
+	for knob, want := range cases {
+		if got := Workers(knob); got != want {
+			t.Errorf("Workers(%d) = %d, want %d", knob, got, want)
+		}
+	}
+}
+
+// TestForEachCoversEveryIndexOnce drives the pool across worker counts,
+// batch sizes and edge shapes (more workers than items, batch larger than
+// n, empty range) and checks the exactly-once contract with per-index
+// atomic counters — under -race this also proves claim distribution is
+// sound.
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	shapes := []struct{ workers, n, batch int }{
+		{1, 17, 1}, {4, 17, 1}, {4, 17, 3}, {4, 4, 8},
+		{16, 5, 1}, {3, 1000, 7}, {8, 64, 64}, {2, 0, 1}, {0, 33, 0},
+	}
+	for _, s := range shapes {
+		counts := make([]atomic.Int32, s.n)
+		ForEach(s.workers, s.n, s.batch, func(i int) {
+			counts[i].Add(1)
+		})
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d n=%d batch=%d: index %d ran %d times",
+					s.workers, s.n, s.batch, i, c)
+			}
+		}
+	}
+}
+
+// TestForEachConcurrentWriters fills a shared slice by index — the pool's
+// advertised usage for block-level corpus sharding.
+func TestForEachConcurrentWriters(t *testing.T) {
+	n := 500
+	out := make([]int, n)
+	ForEach(8, n, 4, func(i int) { out[i] = i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+// TestOrderedMergesInIndexOrder has six producers claim indices in the
+// mandated ascending order but complete them at scrambled times (jitter
+// sleeps), so streams finish out of order; the merged sequence must still
+// be sorted by index with per-index emit order preserved.
+func TestOrderedMergesInIndexOrder(t *testing.T) {
+	const n, perIndex = 50, 7
+	ord := NewOrdered[[2]int](n, 2)
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idx := int(next.Add(1)) - 1
+				if idx >= n {
+					return
+				}
+				// Scramble real-time completion order across workers.
+				time.Sleep(time.Duration((idx*37+11)%5) * time.Millisecond)
+				for k := 0; k < perIndex; k++ {
+					ord.Emit(idx, [2]int{idx, k})
+				}
+				ord.Close(idx)
+			}
+		}()
+	}
+	var got [][2]int
+	ord.Drain(func(v [2]int) { got = append(got, v) })
+	wg.Wait()
+
+	if len(got) != n*perIndex {
+		t.Fatalf("drained %d values, want %d", len(got), n*perIndex)
+	}
+	for j, v := range got {
+		if want := [2]int{j / perIndex, j % perIndex}; v != want {
+			t.Fatalf("position %d: got %v, want %v", j, v, want)
+		}
+	}
+}
+
+// TestOrderedEmptyStreams checks that indices with no values don't stall
+// the drain.
+func TestOrderedEmptyStreams(t *testing.T) {
+	ord := NewOrdered[int](10, 1)
+	go func() {
+		for i := 0; i < 10; i++ {
+			if i == 4 {
+				ord.Emit(i, 42)
+			}
+			ord.Close(i)
+		}
+	}()
+	var got []int
+	ord.Drain(func(v int) { got = append(got, v) })
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("got %v, want [42]", got)
+	}
+}
+
+// TestOrderedBackpressure proves a producer far ahead of the drain frontier
+// blocks on its buffer instead of accumulating unboundedly, and unblocks
+// once the frontier arrives.
+func TestOrderedBackpressure(t *testing.T) {
+	ord := NewOrdered[int](2, 1)
+	blocked := make(chan struct{})
+	go func() {
+		ord.Emit(1, 0)
+		ord.Emit(1, 1) // buffer of index 1 is full: must block until index 0 closes
+		close(blocked)
+		ord.Emit(1, 2)
+		ord.Close(1)
+	}()
+	time.Sleep(50 * time.Millisecond) // give the producer time to (wrongly) run ahead
+	select {
+	case <-blocked:
+		t.Fatal("producer ran past a full buffer with the frontier behind it")
+	default:
+	}
+	ord.Close(0)
+	var got []int
+	ord.Drain(func(v int) { got = append(got, v) })
+	<-blocked
+	if len(got) != 3 {
+		t.Fatalf("drained %v", got)
+	}
+}

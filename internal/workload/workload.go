@@ -104,6 +104,19 @@ func MiBenchLike(r *rand.Rand, n int, p Profile) *dfg.Graph {
 		}
 		return lo + r.Intn(i-lo)
 	}
+	// Memory operations carry explicit dependence edges, as a compiler's DFG
+	// would: each store depends on the previous store and on every load
+	// issued since it, and each load depends on the previous store. This
+	// totally orders the stores and orders every load against the stores on
+	// both sides of it, so the block's memory behaviour is determined by the
+	// graph alone — any topological execution order, including the ones
+	// graph rewrites like CollapseCut produce, observes the same loads and
+	// leaves the same memory. (Load–load order stays free; loads have no
+	// side effects.) The extra operands are ignored by the interpreter and,
+	// being edges between forbidden nodes, only constrain enumeration the
+	// way real memory dependences would.
+	lastStore := -1
+	var loadsSinceStore []int
 	for i := 0; i < n; i++ {
 		// Interleave roots through the early part of the block so operand
 		// windows always contain some.
@@ -114,11 +127,23 @@ func MiBenchLike(r *rand.Rand, n int, p Profile) *dfg.Graph {
 		if r.Float64() < p.MemFrac {
 			if r.Intn(3) == 0 {
 				// Store: consumes an address and a value, no consumers.
-				id := g.MustAddNode(dfg.OpStore, "", pickPred(i), pickPred(i))
+				preds := []int{pickPred(i), pickPred(i)}
+				if lastStore >= 0 {
+					preds = append(preds, lastStore)
+				}
+				preds = append(preds, loadsSinceStore...)
+				id := g.MustAddNode(dfg.OpStore, "", preds...)
 				mustMark(g.MarkForbidden(id))
+				lastStore = id
+				loadsSinceStore = loadsSinceStore[:0]
 			} else {
-				id := g.MustAddNode(dfg.OpLoad, "", pickPred(i))
+				preds := []int{pickPred(i)}
+				if lastStore >= 0 {
+					preds = append(preds, lastStore)
+				}
+				id := g.MustAddNode(dfg.OpLoad, "", preds...)
 				mustMark(g.MarkForbidden(id))
+				loadsSinceStore = append(loadsSinceStore, id)
 			}
 			continue
 		}

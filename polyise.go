@@ -19,10 +19,28 @@
 //
 //	cuts, stats := polyise.EnumerateAll(g, polyise.DefaultOptions())
 //
+// # Parallel enumeration
+//
+// Enumeration shards across CPUs at two grain sizes. Within one block,
+// Options.Parallelism splits the top-level search subtrees of
+// POLY-ENUM-INCR over that many workers (0 = GOMAXPROCS, the default);
+// each worker owns a full clone of the enumerator's mutable state, and a
+// merge stage reassembles the per-subtree cut streams. Across blocks, the
+// corpus drivers (internal/bench, cmd/compare) reuse the same knob to
+// shard whole basic blocks over a worker pool. The determinism guarantee
+// is strict and differentially tested: at any worker count the visitor
+// receives exactly the cuts a serial run would produce, in exactly the
+// serial order — including the same prefix under an early stop — so
+// results, selections and iterative flows are bit-for-bit reproducible.
+// Only the Duplicates/Invalid split of Stats may shift (cross-shard
+// duplicate candidates are re-validated instead of skipped). To reproduce
+// the paper's serial measurements, set Options.Parallelism = 1.
+//
 // The subpackages under internal implement the substrates: Lengauer–Tarjan
 // dominators, multiple-vertex dominator enumeration, the [15]-style
-// baseline search, workload generators and the benchmark harness. This
-// package re-exports the surface a downstream user needs.
+// baseline search, workload generators, the benchmark harness and the
+// worker-pool/ordered-merge machinery (internal/parallel). This package
+// re-exports the surface a downstream user needs.
 package polyise
 
 import (
@@ -96,7 +114,9 @@ type Stats = enum.Stats
 
 // Enumerate runs the paper's polynomial-time incremental algorithm
 // (POLY-ENUM-INCR, figure 3) and streams every valid cut to visit; return
-// false from the visitor to stop early.
+// false from the visitor to stop early. Options.Parallelism shards the
+// search across workers (0 = GOMAXPROCS, 1 = the paper's serial run)
+// without changing the visited cuts or their order.
 func Enumerate(g *Graph, opt Options, visit func(Cut) bool) Stats {
 	return enum.Enumerate(g, opt, visit)
 }
