@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race bench fuzz ci
+.PHONY: build vet test test-race bench bench-json bench-json-quick fuzz ci
 
 build:
 	$(GO) build ./...
@@ -25,9 +25,20 @@ bench:
 	$(GO) test -bench=. -benchtime=1x .
 	$(GO) test -bench=. -benchtime=1x ./internal/bench/
 
+# Machine-readable perf record: runs the tier-1 enumeration benchmarks and
+# commits the numbers (ns/op, allocs/op, cuts/sec for the serial and the
+# sharded configuration) to BENCH_PR2.json so the performance trajectory is
+# tracked in-repo. bench-json-quick skips the 220-node pair; ci uses it as a
+# smoke test that the harness itself keeps working.
+bench-json:
+	$(GO) run ./cmd/benchjson -o BENCH_PR2.json
+
+bench-json-quick:
+	$(GO) run ./cmd/benchjson -o /tmp/bench_smoke.json -quick -iters 1
+
 # Short fuzz run over the graphio parser; the committed seed corpus under
 # internal/graphio/testdata/ always runs as part of plain `make test`.
 fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/graphio/
 
-ci: test test-race
+ci: test test-race bench-json-quick

@@ -1,0 +1,131 @@
+// Command benchjson runs the tier-1 enumeration benchmarks and emits a
+// machine-readable JSON record (ns/op, allocs/op, cuts and cuts/sec per
+// benchmark), so the performance trajectory of the repository is committed
+// alongside the code instead of living in transient CI logs.
+//
+// The benchmark instances mirror bench_test.go exactly: the 220-node
+// serial-versus-sharded pair of BenchmarkParallelEnumerate and the figure 5
+// size clusters (polynomial algorithm versus the pruned exhaustive search
+// of [15]). Usage:
+//
+//	go run ./cmd/benchjson -o BENCH_PR2.json [-iters 3] [-quick]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"polyise"
+	"polyise/internal/workload"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Cuts        int     `json:"cuts"`
+	CutsPerSec  float64 `json:"cuts_per_sec"`
+}
+
+// Report is the file-level envelope.
+type Report struct {
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func measure(name string, iters int, run func(visit func(polyise.Cut) bool) polyise.Stats) Result {
+	var ms0, ms1 runtime.MemStats
+	cuts := 0
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		cuts = 0
+		run(func(polyise.Cut) bool { cuts++; return true })
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	nsPerOp := elapsed.Nanoseconds() / int64(iters)
+	res := Result{
+		Name:        name,
+		Iterations:  iters,
+		NsPerOp:     nsPerOp,
+		AllocsPerOp: int64(ms1.Mallocs-ms0.Mallocs) / int64(iters),
+		BytesPerOp:  int64(ms1.TotalAlloc-ms0.TotalAlloc) / int64(iters),
+		Cuts:        cuts,
+	}
+	if nsPerOp > 0 {
+		res.CutsPerSec = float64(cuts) / (float64(nsPerOp) / 1e9)
+	}
+	fmt.Fprintf(os.Stderr, "%-32s %12d ns/op %10d allocs/op %8d cuts %12.0f cuts/sec\n",
+		name, res.NsPerOp, res.AllocsPerOp, res.Cuts, res.CutsPerSec)
+	return res
+}
+
+func main() {
+	out := flag.String("o", "BENCH_PR2.json", "output JSON path")
+	iters := flag.Int("iters", 2, "iterations per benchmark")
+	quick := flag.Bool("quick", false, "skip the 220-node serial/parallel pair (CI smoke)")
+	flag.Parse()
+
+	opts := func(par int) polyise.Options {
+		o := polyise.DefaultOptions()
+		o.KeepCuts = false
+		o.Parallelism = par
+		return o
+	}
+
+	var rep Report
+	rep.GoVersion = runtime.Version()
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+
+	if !*quick {
+		g := workload.MiBenchLike(rand.New(rand.NewSource(17)), 220, workload.DefaultProfile())
+		rep.Benchmarks = append(rep.Benchmarks,
+			measure("ParallelEnumerate/serial", *iters, func(v func(polyise.Cut) bool) polyise.Stats {
+				return polyise.Enumerate(g, opts(1), v)
+			}),
+			measure("ParallelEnumerate/parallel", *iters, func(v func(polyise.Cut) bool) polyise.Stats {
+				return polyise.Enumerate(g, opts(0), v)
+			}),
+		)
+	}
+
+	for _, s := range []struct {
+		cluster string
+		n       int
+	}{{"small", 40}, {"medium", 120}} {
+		g := workload.MiBenchLike(rand.New(rand.NewSource(5)), s.n, workload.DefaultProfile())
+		rep.Benchmarks = append(rep.Benchmarks,
+			measure(fmt.Sprintf("Figure5/poly/%s-n%d", s.cluster, s.n), *iters,
+				func(v func(polyise.Cut) bool) polyise.Stats {
+					return polyise.Enumerate(g, opts(1), v)
+				}),
+			measure(fmt.Sprintf("Figure5/pruned/%s-n%d", s.cluster, s.n), *iters,
+				func(v func(polyise.Cut) bool) polyise.Stats {
+					return polyise.PrunedExhaustiveSearch(g, opts(1), v)
+				}),
+		)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

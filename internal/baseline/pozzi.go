@@ -124,12 +124,23 @@ func (s *pruned) walk(pos int) {
 			}
 		}
 		// Distinct new inputs: a predecessor listed twice must count once.
+		// Predecessor lists are tiny, so a quadratic scan beats allocating
+		// a set per decision.
 		if convex && newInputs > 0 {
-			seen := map[int]bool{}
+			preds := s.g.Preds(v)
 			newInputs = 0
-			for _, p := range s.g.Preds(v) {
-				if s.state[p] != included && !s.isInput[p] && !seen[p] {
-					seen[p] = true
+			for i, p := range preds {
+				if s.state[p] == included || s.isInput[p] {
+					continue
+				}
+				dup := false
+				for _, q := range preds[:i] {
+					if q == p {
+						dup = true
+						break
+					}
+				}
+				if !dup {
 					newInputs++
 				}
 			}

@@ -32,6 +32,11 @@ func New(n int) *Set {
 // Cap returns the capacity the set was created with.
 func (s *Set) Cap() int { return s.n }
 
+// Words exposes the underlying word storage. Callers own the set or treat
+// the slice as read-only; the word-parallel traversal kernels use it to
+// advance whole 64-bit frontiers at a time instead of individual bits.
+func (s *Set) Words() []uint64 { return s.words }
+
 // Add inserts i into the set.
 func (s *Set) Add(i int) { s.words[i/wordBits] |= 1 << uint(i%wordBits) }
 
@@ -84,6 +89,52 @@ func (s *Set) Union(t *Set) {
 	for i, w := range t.words {
 		s.words[i] |= w
 	}
+}
+
+// UnionWords sets s = s ∪ row, where row is a raw word slice of the same
+// stride (an adjacency-matrix row).
+func (s *Set) UnionWords(row []uint64) {
+	for i, w := range row {
+		s.words[i] |= w
+	}
+}
+
+// CopyIntersect sets s = a ∩ b in one fused pass.
+func (s *Set) CopyIntersect(a, b *Set) {
+	bw := b.words
+	for i, w := range a.words {
+		s.words[i] = w & bw[i]
+	}
+}
+
+// CopyAndNot sets s = a \ b in one fused pass.
+func (s *Set) CopyAndNot(a, b *Set) {
+	bw := b.words
+	for i, w := range a.words {
+		s.words[i] = w &^ bw[i]
+	}
+}
+
+// ComplementOf sets s = U \ t, where U is the full capacity universe.
+func (s *Set) ComplementOf(t *Set) {
+	for i, w := range t.words {
+		s.words[i] = ^w
+	}
+	if rem := uint(s.n % wordBits); rem != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << rem) - 1
+	}
+}
+
+// AndNotAny reports whether s ∩ t \ not is non-empty, without
+// materializing the intermediate set.
+func (s *Set) AndNotAny(t, not *Set) bool {
+	nw := not.words
+	for i, w := range t.words {
+		if s.words[i]&w&^nw[i] != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Intersect sets s = s ∩ t.
@@ -158,12 +209,42 @@ func (s *Set) ForEach(f func(i int) bool) {
 
 // Members returns the elements in ascending order.
 func (s *Set) Members() []int {
-	out := make([]int, 0, s.Count())
-	s.ForEach(func(i int) bool {
-		out = append(out, i)
-		return true
-	})
-	return out
+	return s.AppendMembers(make([]int, 0, s.Count()))
+}
+
+// AppendMembers appends the elements in ascending order to dst and returns
+// the extended slice; with a reused dst it is allocation-free once the
+// capacity has grown to fit.
+func (s *Set) AppendMembers(dst []int) []int {
+	for wi, w := range s.words {
+		for w != 0 {
+			dst = append(dst, wi*wordBits+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// Compare orders sets by their word representation, lexicographically from
+// word 0 upward (shorter sets first). It is an arbitrary but deterministic
+// total order over equal-capacity sets, cheaper than comparing Signature
+// strings.
+func (s *Set) Compare(t *Set) int {
+	if len(s.words) != len(t.words) {
+		if len(s.words) < len(t.words) {
+			return -1
+		}
+		return 1
+	}
+	for i, w := range s.words {
+		if w != t.words[i] {
+			if w < t.words[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
 }
 
 // Next returns the smallest element ≥ i, or -1 if none exists.

@@ -1,0 +1,125 @@
+package bitset
+
+// Tests for the fused word-level operations backing the word-parallel
+// traversal engine.
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func randSet(r *rand.Rand, n int) *Set {
+	s := New(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(3) == 0 {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+func TestFusedOpsMatchComposition(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		a, b := randSet(r, n), randSet(r, n)
+		got, want := New(n), New(n)
+
+		got.CopyIntersect(a, b)
+		want.Copy(a)
+		want.Intersect(b)
+		if !got.Equal(want) {
+			return false
+		}
+
+		got.CopyAndNot(a, b)
+		want.Copy(a)
+		want.Subtract(b)
+		if !got.Equal(want) {
+			return false
+		}
+
+		got.ComplementOf(a)
+		for v := 0; v < n; v++ {
+			if got.Has(v) == a.Has(v) {
+				return false
+			}
+		}
+		if got.Count()+a.Count() != n {
+			return false // no stray bits beyond capacity
+		}
+
+		s := randSet(r, n)
+		wantAny := false
+		for v := 0; v < n; v++ {
+			if s.Has(v) && a.Has(v) && !b.Has(v) {
+				wantAny = true
+			}
+		}
+		if s.AndNotAny(a, b) != wantAny {
+			return false
+		}
+
+		got.Clear()
+		got.UnionWords(a.Words())
+		if !got.Equal(a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendMembersReuse(t *testing.T) {
+	s := FromMembers(130, 0, 63, 64, 127, 129)
+	buf := make([]int, 0, 8)
+	got := s.AppendMembers(buf[:0])
+	if want := []int{0, 63, 64, 127, 129}; len(got) != len(want) {
+		t.Fatalf("AppendMembers = %v, want %v", got, want)
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("AppendMembers = %v, want %v", got, want)
+			}
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		buf = s.AppendMembers(buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendMembers allocated %.1f times with warm buffer", allocs)
+	}
+}
+
+func TestCompareIsTotalOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	const n = 150
+	sets := make([]*Set, 40)
+	for i := range sets {
+		sets[i] = randSet(r, n)
+	}
+	// Antisymmetry + consistency with Equal.
+	for _, a := range sets {
+		for _, b := range sets {
+			ab, ba := a.Compare(b), b.Compare(a)
+			if ab != -ba {
+				t.Fatalf("Compare not antisymmetric: %d vs %d", ab, ba)
+			}
+			if (ab == 0) != a.Equal(b) {
+				t.Fatalf("Compare == 0 disagrees with Equal")
+			}
+		}
+	}
+	// Sorting by Compare must agree with sorting by Signature-equality
+	// classes: equal sets stay adjacent, distinct sets get a fixed order.
+	sort.Slice(sets, func(i, j int) bool { return sets[i].Compare(sets[j]) < 0 })
+	for i := 1; i < len(sets); i++ {
+		if sets[i-1].Compare(sets[i]) > 0 {
+			t.Fatal("sort by Compare not in order")
+		}
+	}
+}

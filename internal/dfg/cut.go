@@ -6,6 +6,12 @@ import "polyise/internal/bitset"
 // I(S) and O(S), convexity, def. 4 connectedness, and the technical
 // condition the paper adds to the problem statement (every input must have a
 // "private" path to the cut that avoids all other inputs).
+//
+// These are the scalar reference implementations. The enumeration hot path
+// runs on the word-parallel equivalents (traverse.go kernels and
+// enum.Validator); property tests check those against the functions here
+// on randomized graphs, so the scalar forms stay load-bearing as the
+// executable specification.
 
 // CutNodesInto computes into dst the vertex set of the cut identified by
 // the chosen outputs and the input set `avoid`:
@@ -180,10 +186,8 @@ func (g *Graph) rootReachesAvoiding(w int, inSet *bitset.Set, visited *bitset.Se
 			stack = append(stack, v)
 		}
 	}
-	for v := 0; v < g.N(); v++ {
-		if g.iext.Has(v) || g.forb.Has(v) {
-			push(v)
-		}
+	for _, v := range g.entries {
+		push(v)
 	}
 	for len(stack) > 0 && !visited.Has(w) {
 		v := stack[len(stack)-1]

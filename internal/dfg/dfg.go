@@ -59,6 +59,15 @@ type Graph struct {
 	ffReach   []*bitset.Set // like reachFrom, but paths may not cross F
 	forbPred  []*bitset.Set // forbidden predecessors of each node
 	depth     []int         // longest-path depth from any root (roots = 0)
+	entries   []int         // Iext ∪ user-forbidden: the virtual source's successors
+	entrySet  *bitset.Set   // the same, as a bitset
+
+	// Flat bitset adjacency matrices for the word-parallel traversal engine
+	// (traverse.go): row v of predBits/succBits holds v's predecessor/
+	// successor set, stride words per row.
+	stride   int
+	predBits []uint64
+	succBits []uint64
 
 	augOnce sync.Once
 	aug     *Aug
@@ -291,6 +300,32 @@ func (g *Graph) Freeze() error {
 		g.depth[v] = d
 	}
 
+	// Successors of the augmented graph's virtual source (§3): every root
+	// and every user-forbidden vertex. Traversals of the reduced graph all
+	// start here, so the list is computed once instead of scanning all
+	// vertices per traversal.
+	g.entrySet = bitset.New(n)
+	g.entrySet.Union(g.iext)
+	g.entrySet.Union(g.forb)
+	g.entries = g.entrySet.Members()
+
+	// Adjacency rows as flat bit matrices, the substrate of the
+	// word-parallel traversal kernels (§5.4: set operations on flat bit
+	// matrices are what make the enumeration practical).
+	g.stride = (n + 63) / 64
+	g.predBits = make([]uint64, n*g.stride)
+	g.succBits = make([]uint64, n*g.stride)
+	for v := 0; v < n; v++ {
+		prow := g.predBits[v*g.stride : (v+1)*g.stride]
+		for _, p := range g.preds[v] {
+			prow[p/64] |= 1 << uint(p%64)
+		}
+		srow := g.succBits[v*g.stride : (v+1)*g.stride]
+		for _, s := range g.succs[v] {
+			srow[s/64] |= 1 << uint(s%64)
+		}
+	}
+
 	g.frozen = true
 	return nil
 }
@@ -349,6 +384,48 @@ func (g *Graph) Oext() []int { return g.oext.Members() }
 
 // Forbidden returns the explicit forbidden set F in ascending order.
 func (g *Graph) Forbidden() []int { return g.forb.Members() }
+
+// Entries returns the successors of the augmented graph's virtual source —
+// Iext ∪ the user-forbidden set — in ascending order; read-only.
+func (g *Graph) Entries() []int { return g.entries }
+
+// EntrySet returns the same set as Entries as a bitset; read-only.
+func (g *Graph) EntrySet() *bitset.Set { return g.entrySet }
+
+// PredRow returns node v's predecessor set as a raw adjacency-matrix row;
+// read-only. Available after Freeze.
+func (g *Graph) PredRow(v int) []uint64 {
+	return g.predBits[v*g.stride : (v+1)*g.stride]
+}
+
+// SuccRow returns node v's successor set as a raw adjacency-matrix row;
+// read-only. Available after Freeze.
+func (g *Graph) SuccRow(v int) []uint64 {
+	return g.succBits[v*g.stride : (v+1)*g.stride]
+}
+
+// PredsIntersect reports whether any predecessor of v belongs to s, in one
+// word-parallel pass over v's adjacency row.
+func (g *Graph) PredsIntersect(v int, s *bitset.Set) bool {
+	sw := s.Words()
+	for i, w := range g.PredRow(v) {
+		if w&sw[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SuccsIntersect reports whether any successor of v belongs to s.
+func (g *Graph) SuccsIntersect(v int, s *bitset.Set) bool {
+	sw := s.Words()
+	for i, w := range g.SuccRow(v) {
+		if w&sw[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
 
 // ForbiddenSet returns the explicit forbidden set as a bitset; read-only.
 func (g *Graph) ForbiddenSet() *bitset.Set { return g.forb }

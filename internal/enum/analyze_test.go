@@ -21,10 +21,11 @@ import (
 func newAnalyzer(g *dfg.Graph) *incEnum {
 	n := g.N()
 	e := &incEnum{
-		g:     g,
-		Iuser: bitset.New(n),
-		front: bitset.New(n),
-		diff:  make([]int32, n+1),
+		g:       g,
+		tr:      g.NewTraverser(),
+		Iuser:   bitset.New(n),
+		posMask: bitset.New(n + 1),
+		diff:    make([]int32, n+1),
 	}
 	for v := 0; v < n; v++ {
 		if g.IsRoot(v) || g.IsUserForbidden(v) {
@@ -103,7 +104,7 @@ func TestAnalyzePathsMatchesSolver(t *testing.T) {
 					blocked = append(blocked, a)
 				}
 			}
-			gotReach, gotChain := e.analyzePaths(o, back, onPath, nil, nil, nil)
+			gotReach, gotChain := e.analyzePaths(o, back, onPath, nil, nil, true)
 			wantReach, wantChain := oracle(g, blocked, o)
 			if gotReach != wantReach {
 				t.Logf("seed=%d o=%d blocked=%v reach %v want %v", seed, o, blocked, gotReach, wantReach)
@@ -156,7 +157,7 @@ func TestAnalyzePathsParentRestriction(t *testing.T) {
 		e.Iuser.Add(first)
 		pBack := bitset.New(g.N())
 		pOnPath := bitset.New(g.N())
-		pReach, _ := e.analyzePaths(o, pBack, pOnPath, nil, nil, nil)
+		pReach, _ := e.analyzePaths(o, pBack, pOnPath, nil, nil, true)
 		if !pReach {
 			return true
 		}
@@ -169,11 +170,11 @@ func TestAnalyzePathsParentRestriction(t *testing.T) {
 
 		backScratch := bitset.New(g.N())
 		onScratch := bitset.New(g.N())
-		reach1, chain1 := e.analyzePaths(o, backScratch, onScratch, nil, nil, nil)
+		reach1, chain1 := e.analyzePaths(o, backScratch, onScratch, nil, nil, true)
 		sort.Ints(chain1)
 		on1 := onScratch.Clone()
 
-		reach2, chain2 := e.analyzePaths(o, backScratch, onScratch, pBack, pOnPath, nil)
+		reach2, chain2 := e.analyzePaths(o, backScratch, onScratch, pBack, nil, true)
 		sort.Ints(chain2)
 
 		if reach1 != reach2 {
@@ -206,7 +207,7 @@ func TestAnalyzePathsChainOnKnownGraph(t *testing.T) {
 	e := newAnalyzer(g)
 	onPath := bitset.New(g.N())
 	back := bitset.New(g.N())
-	reach, chain := e.analyzePaths(d, back, onPath, nil, nil, nil)
+	reach, chain := e.analyzePaths(d, back, onPath, nil, nil, true)
 	if !reach {
 		t.Fatal("d unreachable")
 	}
@@ -215,7 +216,7 @@ func TestAnalyzePathsChainOnKnownGraph(t *testing.T) {
 	}
 	// Blocking b separates d entirely.
 	e.Iuser.Add(b)
-	reach, _ = e.analyzePaths(d, back, onPath, nil, nil, nil)
+	reach, _ = e.analyzePaths(d, back, onPath, nil, nil, true)
 	if reach {
 		t.Fatal("d should be separated with b blocked")
 	}

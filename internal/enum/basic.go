@@ -23,7 +23,7 @@ func EnumerateBasic(g *dfg.Graph, opt Options, visit func(Cut) bool) Stats {
 		visit:   visit,
 		md:      multidom.New(g),
 		val:     NewValidator(g, opt),
-		seen:    make(map[string]bool),
+		seen:    newSigSet(),
 		gendoms: make(map[int][][]int),
 		S:       bitset.New(g.N()),
 		I:       bitset.New(g.N()),
@@ -46,7 +46,7 @@ type basicEnum struct {
 	pdt   *domtree.Tree
 	val   *Validator
 	stats Stats
-	seen  map[string]bool
+	seen  *sigSet
 
 	gendoms map[int][][]int // memoized generalized dominators per output
 
@@ -154,12 +154,10 @@ func (e *basicEnum) checkCandidate() {
 	if e.S.Intersects(e.g.ForbiddenSet()) {
 		return
 	}
-	sig := e.S.Signature()
-	if e.seen[sig] {
+	if !e.seen.Insert(e.S.Hash128()) {
 		e.stats.Duplicates++
 		return
 	}
-	e.seen[sig] = true
 	var cut Cut
 	if !e.val.Validate(e.S, &cut) {
 		e.stats.Invalid++

@@ -18,6 +18,8 @@ package enum
 // Nin.
 
 import (
+	"math/bits"
+
 	"polyise/internal/bitset"
 )
 
@@ -63,68 +65,69 @@ func (e *incEnum) mandatoryInto(dst *bitset.Set, v, o int, back *bitset.Set) {
 	g := e.g
 	fs := e.flow()
 	// Region: reachable from v avoiding I, intersected with back (reaches o
-	// avoiding I).
+	// avoiding I). back already excludes every chosen input, so it is the
+	// closure's allowed set as-is; v seeds the closure unconditionally.
 	fwd := fs.fwd
 	fwd.Clear()
 	fwd.Add(v)
-	stack := e.bfsStack[:0]
-	stack = append(stack, v)
-	for len(stack) > 0 {
-		x := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, s := range g.Succs(x) {
-			if fwd.Has(s) || e.Iuser.Has(s) || !back.Has(s) {
-				continue
-			}
-			fwd.Add(s)
-			stack = append(stack, s)
-		}
-	}
-	e.bfsStack = stack
+	e.tr.ForwardClosure(fwd, back)
 	if !fwd.Has(o) {
 		return
 	}
-	// Crossing sweep over the region with v as the only source.
+	// Crossing sweep over the region with v as the only source; the touched
+	// positions are walked through the position bitset, no sorting.
 	e.touched = e.touched[:0]
+	e.posMask.Clear()
 	vPos, oPos := int32(g.TopoPos(v)), int32(g.TopoPos(o))
 	mark := func(p, d int32) {
 		if e.diff[p] == 0 {
 			e.touched = append(e.touched, p)
 		}
 		e.diff[p] += d
+		e.posMask.Add(int(p))
 	}
-	fwd.ForEach(func(x int) bool {
-		px := int32(g.TopoPos(x))
-		if x != o && x != v {
-			e.touched = append(e.touched, px)
-		}
-		for _, s := range g.Succs(x) {
-			if fwd.Has(s) {
-				mark(px+1, 1)
-				mark(int32(g.TopoPos(s)), -1)
+	fw := fwd.Words()
+	for wi, w := range fw {
+		for w != 0 {
+			x := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			px := int32(g.TopoPos(x))
+			if x != o && x != v {
+				e.posMask.Add(int(px))
+			}
+			cnt := int32(0)
+			for i, rw := range g.SuccRow(x) {
+				m := rw & fw[i]
+				cnt += int32(bits.OnesCount64(m))
+				for m != 0 {
+					s := i<<6 + bits.TrailingZeros64(m)
+					m &= m - 1
+					mark(int32(g.TopoPos(s)), -1)
+				}
+			}
+			if cnt != 0 {
+				mark(px+1, cnt)
 			}
 		}
-		return true
-	})
-	sortInt32(e.touched)
+	}
 	sum := int32(0)
 	topo := g.Topo()
-	prev := int32(-1)
-	for _, p := range e.touched {
-		if p >= oPos {
-			break
-		}
-		if p == prev {
-			continue
-		}
-		sum += e.diff[p]
-		prev = p
-		if p <= vPos {
-			continue
-		}
-		x := topo[p]
-		if sum == 0 && fwd.Has(x) {
-			dst.Add(x)
+sweep:
+	for wi, w := range e.posMask.Words() {
+		for w != 0 {
+			p := int32(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+			if p >= oPos {
+				break sweep
+			}
+			sum += e.diff[p]
+			if p <= vPos {
+				continue
+			}
+			x := topo[p]
+			if sum == 0 && fwd.Has(x) {
+				dst.Add(x)
+			}
 		}
 	}
 	for _, p := range e.touched {
@@ -227,17 +230,4 @@ func (e *incEnum) completionFlowBound(o int, onPath *bitset.Set, flowCap int) in
 		flow++
 	}
 	return flow
-}
-
-func sortInt32(s []int32) {
-	// Insertion sort: the slices here are small and often nearly sorted.
-	for i := 1; i < len(s); i++ {
-		v := s[i]
-		j := i - 1
-		for j >= 0 && s[j] > v {
-			s[j+1] = s[j]
-			j--
-		}
-		s[j+1] = v
-	}
 }

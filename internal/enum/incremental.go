@@ -1,7 +1,7 @@
 package enum
 
 import (
-	"slices"
+	"math/bits"
 	"sync/atomic"
 	"time"
 
@@ -58,8 +58,10 @@ type enumShared struct {
 	g       *dfg.Graph
 	opt     Options
 	pdt     *domtree.Tree
-	entries []int // roots ∪ user-forbidden: virtual-source successors
-	byDepth []int // vertices in reverse topological order
+	entries []int         // roots ∪ user-forbidden: virtual-source successors
+	byDepth []int         // vertices in reverse topological order
+	permOut *bitset.Set   // vertices that can never stop being outputs once in S
+	badIn   []*bitset.Set // per-output forbidden-ancestor exclusions (PruneForbiddenAncestors)
 }
 
 func newEnumShared(g *dfg.Graph, opt Options) *enumShared {
@@ -69,12 +71,8 @@ func newEnumShared(g *dfg.Graph, opt Options) *enumShared {
 	sh.pdt = pds.BuildTree()
 
 	// Entry points of the augmented graph: the virtual source precedes
-	// every root and every forbidden vertex (§3).
-	for v := 0; v < g.N(); v++ {
-		if g.IsRoot(v) || g.IsUserForbidden(v) {
-			sh.entries = append(sh.entries, v)
-		}
-	}
+	// every root and every forbidden vertex (§3). Precomputed by Freeze.
+	sh.entries = g.Entries()
 
 	// Seed candidates are iterated deepest-first (reverse topological
 	// order), matching the paper's intent that the most immediate dominator
@@ -84,7 +82,52 @@ func newEnumShared(g *dfg.Graph, opt Options) *enumShared {
 	for i, j := 0, len(sh.byDepth)-1; i < j; i, j = i+1, j-1 {
 		sh.byDepth[i], sh.byDepth[j] = sh.byDepth[j], sh.byDepth[i]
 	}
+
+	// Permanent outputs: members of Oext always feed the virtual sink, and
+	// a vertex with a forbidden successor can never have that successor
+	// join the cut. Static per graph, so the viability test reduces to one
+	// word-parallel intersection count.
+	sh.permOut = bitset.New(g.N())
+	for v := 0; v < g.N(); v++ {
+		if permanentOutput(g, v) {
+			sh.permOut.Add(v)
+		}
+	}
+
+	// The forbidden-ancestor input exclusion (§5.3, approximate) depends
+	// only on the graph, so it is precomputed once here — shared read-only
+	// by every shard — instead of being rebuilt in each worker's memo. One
+	// pass over the topological order suffices: bad(v) accumulates, for
+	// every user-forbidden ancestor f of v, the ancestors of f.
+	if opt.PruneForbiddenAncestors {
+		sh.badIn = make([]*bitset.Set, g.N())
+		for _, v := range g.Topo() {
+			b := bitset.New(g.N())
+			for _, p := range g.Preds(v) {
+				b.Union(sh.badIn[p])
+				if g.IsUserForbidden(p) {
+					b.Union(g.ReachTo(p))
+				}
+			}
+			sh.badIn[v] = b
+		}
+	}
 	return sh
+}
+
+// permanentOutput reports whether v can never stop being an output once in
+// S: members of Oext always feed the virtual sink, and successors that are
+// forbidden can never join the cut.
+func permanentOutput(g *dfg.Graph, v int) bool {
+	if g.IsLiveOut(v) {
+		return true
+	}
+	for _, s := range g.Succs(v) {
+		if g.IsForbidden(s) {
+			return true
+		}
+	}
+	return false
 }
 
 // newWorker allocates one enumeration worker with private mutable state (the
@@ -102,15 +145,17 @@ func (sh *enumShared) newWorker(visit func(Cut) bool, ext *atomic.Bool) *incEnum
 		pdt:     sh.pdt,
 		entries: sh.entries,
 		byDepth: sh.byDepth,
+		permOut: sh.permOut,
+		badIn:   sh.badIn,
 		ext:     ext,
 		val:     NewValidator(sh.g, sh.opt),
-		seen:    make(map[[2]uint64]bool),
+		tr:      sh.g.NewTraverser(),
+		seen:    newSigSet(),
 		S:       bitset.New(n),
 		Iuser:   bitset.New(n),
 		outSet:  bitset.New(n),
-		scratch: bitset.New(n),
 		outTest: bitset.New(n),
-		front:   bitset.New(n),
+		posMask: bitset.New(n + 1),
 		diff:    make([]int32, n+1),
 	}
 }
@@ -121,8 +166,9 @@ type incEnum struct {
 	visit func(Cut) bool
 	pdt   *domtree.Tree
 	val   *Validator
+	tr    *dfg.Traverser // word-parallel traversal kernels, worker-owned
 	stats Stats
-	seen  map[[2]uint64]bool
+	seen  *sigSet
 	ext   *atomic.Bool // external stop flag; nil in serial runs
 
 	S      *bitset.Set // current cut (user capacity)
@@ -131,19 +177,20 @@ type incEnum struct {
 	outs   []int
 	outSet *bitset.Set
 
-	byDepth   []int               // vertices in reverse topological order
-	entries   []int               // roots ∪ user-forbidden: virtual-source successors
-	badInputs map[int]*bitset.Set // per-output forbidden-ancestor exclusions
+	byDepth []int         // vertices in reverse topological order
+	entries []int         // roots ∪ user-forbidden: virtual-source successors
+	permOut *bitset.Set   // shared: vertices that are outputs forever once in S
+	badIn   []*bitset.Set // shared: per-output forbidden-ancestor exclusions
 
 	snaps        []*bitset.Set // per-depth S snapshots
 	paths        []*bitset.Set // per-depth on-path sets
 	backs        []*bitset.Set // per-depth reaches-o sets
-	scratch      *bitset.Set
+	chains       [][]int       // per-depth dominator-chain buffers
 	outTest      *bitset.Set
-	front        *bitset.Set // scratch: reachable from source avoiding I
+	posMask      *bitset.Set // scratch: touched topological positions (cap n+1)
+	seed1        [1]int      // scratch: single-seed kernel calls
 	diff         []int32     // scratch: crossing-count difference array
 	touched      []int32     // positions of diff to clear
-	bfsStack     []int
 	fs           *flowScratch
 	stopped      bool
 	deadlineTick uint32
@@ -173,6 +220,16 @@ func (e *incEnum) backBuf(d int) *bitset.Set {
 	return e.backs[d]
 }
 
+// chainBuf returns the (emptied) dominator-chain buffer for recursion depth
+// d. Depth-indexed because the chain found at depth d is still being
+// iterated while deeper recursion levels run their own analyses.
+func (e *incEnum) chainBuf(d int) []int {
+	for len(e.chains) <= d {
+		e.chains = append(e.chains, nil)
+	}
+	return e.chains[d][:0]
+}
+
 // analyzePaths analyses the reduced graph (the augmented graph minus the
 // chosen inputs) with respect to output o. It computes into back the set of
 // vertices that reach o avoiding the inputs, into onPath the set of
@@ -180,119 +237,118 @@ func (e *incEnum) backBuf(d int) *bitset.Set {
 // chain every vertex that dominates o in the reduced graph, and reports
 // whether o is reachable at all.
 //
-// pBack and pOnPath are the corresponding sets of the parent recursion
-// level (nil at the top): blocking one more input only ever shrinks them,
-// and every surviving source→o path lies inside the parent's onPath, so
-// both traversals can be confined to the parent sets. This makes deep seed
-// exploration cost proportional to the surviving path region rather than to
-// the whole ancestor cone.
+// pBack is the back set of the parent recursion level (nil at the top):
+// blocking one more input only ever shrinks it, so the backward traversal
+// can be confined to it, and the forward traversal is confined to the
+// freshly computed back in turn. This makes deep seed exploration cost
+// proportional to the surviving path region rather than to the whole
+// ancestor cone.
 //
 // Dominators are found without running Lengauer–Tarjan: restricted to the
 // vertices on surviving paths, a vertex dominates o exactly when no
 // surviving edge "jumps over" its topological position, which one
 // difference-array sweep detects (every path must cross every topological
 // rank between source and o, and can do so silently only through an edge).
-func (e *incEnum) analyzePaths(o int, back, onPath, pBack, pOnPath *bitset.Set, chain []int) (bool, []int) {
+//
+// Both traversals run on the word-parallel engine, and the sweep visits the
+// touched positions through a position bitset walked word-at-a-time instead
+// of sorting them — the sort used to dominate the whole enumeration. When
+// needChain is false (no input budget left) the caller only consumes the
+// reachability answer and the back/onPath sets, so the sweep is skipped
+// entirely.
+func (e *incEnum) analyzePaths(o int, back, onPath, pBack *bitset.Set, chain []int, needChain bool) (bool, []int) {
 	g := e.g
-	cone := g.ReachTo(o)
 
 	// Backward reachability from o, avoiding I. Computed first because the
 	// caller's dead-seed test needs it even when o turns out separated.
-	back.Clear()
-	back.Add(o)
-	stack := append(e.bfsStack[:0], o)
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, p := range g.Preds(v) {
-			if back.Has(p) || e.Iuser.Has(p) || (pBack != nil && !pBack.Has(p)) {
-				continue
-			}
-			back.Add(p)
-			stack = append(stack, p)
-		}
-	}
+	// (o always survives the kernel's seed filter: it is never a chosen
+	// input, and the parent's back set contains its own seed o.)
+	e.seed1[0] = o
+	e.tr.ReachBackwardAvoiding(back, e.seed1[:], e.Iuser, pBack)
 
-	// Forward reachability from the virtual source, avoiding I, restricted
-	// to o's ancestor cone (or the parent's surviving-path set, which every
-	// source→o path stays inside).
-	inScope := func(v int) bool {
-		if pOnPath != nil {
-			return v == o || pOnPath.Has(v)
-		}
-		return v == o || cone.Has(v)
-	}
-	front := e.front
-	front.Clear()
-	stack = stack[:0]
-	for _, r := range e.entries {
-		if inScope(r) && !e.Iuser.Has(r) {
-			front.Add(r)
-			stack = append(stack, r)
-		}
-	}
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, s := range g.Succs(v) {
-			if front.Has(s) || e.Iuser.Has(s) || !inScope(s) {
-				continue
-			}
-			front.Add(s)
-			stack = append(stack, s)
-		}
-	}
-	e.bfsStack = stack
-	if !front.Has(o) {
+	// Forward reachability from the virtual source, avoiding I. The scalar
+	// algorithm ran this over o's whole ancestor cone and intersected with
+	// back afterwards; here the traversal is confined to back directly,
+	// which is sound because for any x ∈ back, every vertex on a source→x
+	// path avoiding I also reaches o avoiding I (follow the path to x, then
+	// x's surviving path to o) and hence lies in back itself — including
+	// its membership in every ancestor level's back/onPath sets, since
+	// their input sets are subsets of I. So the source→o path region is
+	// exactly the forward closure of the entries inside back, one traversal
+	// over the surviving region instead of two over the cone.
+	onPath.CopyIntersect(g.EntrySet(), back)
+	e.tr.ForwardClosure(onPath, back)
+	if !onPath.Has(o) {
 		return false, chain
 	}
-
-	onPath.Copy(front)
-	onPath.Intersect(back)
+	if !needChain {
+		return true, chain
+	}
 
 	// Crossing-count sweep: every edge (a, b) between on-path vertices
 	// contributes +1 on positions strictly between its endpoints; virtual
 	// source edges to on-path entries contribute from position 0. A vertex
 	// on a surviving path dominates o iff its crossing count is zero. The
-	// sweep visits only positions where the count changes or an on-path
-	// vertex sits, so its cost follows the surviving-path region, not the
-	// whole topological span.
+	// positions to visit — where the count changes or an on-path vertex
+	// sits — are collected in a position bitset and walked in ascending
+	// order by scanning its words, so no sorting is needed and the cost
+	// still follows the surviving-path region. On-path successors are
+	// selected by masking each vertex's successor row against onPath, one
+	// word at a time.
 	e.touched = e.touched[:0]
+	e.posMask.Clear()
 	oPos := int32(g.TopoPos(o))
 	mark := func(p, d int32) {
 		if e.diff[p] == 0 {
 			e.touched = append(e.touched, p)
 		}
 		e.diff[p] += d
+		e.posMask.Add(int(p))
 	}
-	onPath.ForEach(func(v int) bool {
-		pv := int32(g.TopoPos(v))
-		if v != o {
-			e.touched = append(e.touched, pv) // candidate position
-		}
-		if g.IsRoot(v) || g.IsUserForbidden(v) {
-			mark(0, 1)
-			mark(pv, -1)
-		}
-		for _, s := range g.Succs(v) {
-			if onPath.Has(s) {
-				mark(pv+1, 1)
-				mark(int32(g.TopoPos(s)), -1)
+	ow := onPath.Words()
+	ew := g.EntrySet().Words()
+	for wi, w := range ow {
+		if src := w & ew[wi]; src != 0 { // virtual source edges
+			for src != 0 {
+				v := wi<<6 + bits.TrailingZeros64(src)
+				src &= src - 1
+				mark(0, 1)
+				mark(int32(g.TopoPos(v)), -1)
 			}
 		}
-		return true
-	})
-	slices.Sort(e.touched)
+		for w != 0 {
+			v := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			pv := int32(g.TopoPos(v))
+			if v != o {
+				e.posMask.Add(int(pv)) // candidate position
+			}
+			cnt := int32(0)
+			for i, rw := range g.SuccRow(v) {
+				m := rw & ow[i]
+				cnt += int32(bits.OnesCount64(m))
+				for m != 0 {
+					s := i<<6 + bits.TrailingZeros64(m)
+					m &= m - 1
+					mark(int32(g.TopoPos(s)), -1)
+				}
+			}
+			if cnt != 0 {
+				mark(pv+1, cnt)
+			}
+		}
+	}
 	sum := int32(0)
 	topo := g.Topo()
-	prev := int32(-1)
-	for _, p := range e.touched {
-		if p >= oPos {
-			break
-		}
-		if p != prev {
+sweep:
+	for wi, w := range e.posMask.Words() {
+		for w != 0 {
+			p := int32(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+			if p >= oPos {
+				break sweep
+			}
 			sum += e.diff[p]
-			prev = p
 			v := topo[p]
 			if sum == 0 && onPath.Has(v) {
 				chain = append(chain, v)
@@ -307,9 +363,10 @@ func (e *incEnum) analyzePaths(o int, back, onPath, pBack, pOnPath *bitset.Set, 
 
 // rebuildS recomputes the exact cut identified by the chosen outputs and
 // inputs: every vertex that reaches a chosen output along a path avoiding
-// the chosen inputs (theorems 2 and 3).
+// the chosen inputs (theorems 2 and 3), as one word-parallel backward
+// frontier traversal.
 func (e *incEnum) rebuildS() {
-	e.g.CutNodesInto(e.S, e.outs, e.Iuser)
+	e.tr.CutNodesInto(e.S, e.outs, e.Iuser)
 }
 
 // viable applies the §5.3 "pruning while building S" test, adapted to the
@@ -325,36 +382,9 @@ func (e *incEnum) viable(ninLeft int) bool {
 	if !e.opt.PruneWhileBuildingS {
 		return true
 	}
-	offending := e.S.Intersects(e.g.ForbiddenSet()) || e.S.Intersects(e.g.RootSet())
-	if !offending {
-		perm := 0
-		e.S.ForEach(func(v int) bool {
-			if e.permanentOutput(v) {
-				perm++
-				if perm > e.opt.MaxOutputs {
-					offending = true
-					return false
-				}
-			}
-			return true
-		})
-	}
+	offending := e.S.Intersects(e.g.ForbiddenSet()) || e.S.Intersects(e.g.RootSet()) ||
+		e.S.IntersectionCount(e.permOut) > e.opt.MaxOutputs
 	return !offending || ninLeft > 0
-}
-
-// permanentOutput reports whether v can never stop being an output once in
-// S: members of Oext always feed the virtual sink, and successors that are
-// forbidden can never join the cut.
-func (e *incEnum) permanentOutput(v int) bool {
-	if e.g.IsLiveOut(v) {
-		return true
-	}
-	for _, s := range e.g.Succs(v) {
-		if e.g.IsForbidden(s) {
-			return true
-		}
-	}
-	return false
 }
 
 // topLevel explores the complete search subtree rooted at the depth-0
@@ -376,7 +406,7 @@ func (e *incEnum) topLevel(pos int) {
 	e.outSet.Add(o)
 	e.rebuildS()
 	if e.viable(e.opt.MaxInputs) {
-		e.pickInputs(1, pos, o, e.opt.MaxInputs, e.opt.MaxOutputs-1, 0, len(e.Ilist), nil, nil)
+		e.pickInputs(1, pos, o, e.opt.MaxInputs, e.opt.MaxOutputs-1, 0, len(e.Ilist), nil)
 	}
 	e.outSet.Remove(o)
 	e.outs = e.outs[:len(e.outs)-1]
@@ -424,7 +454,7 @@ func (e *incEnum) pickOutput(depth, lastTopo, ninLeft, noutLeft int) {
 		e.outSet.Add(o)
 		e.rebuildS()
 		if e.viable(ninLeft) {
-			e.pickInputs(depth+1, pos, o, ninLeft, noutLeft-1, 0, len(e.Ilist), nil, nil)
+			e.pickInputs(depth+1, pos, o, ninLeft, noutLeft-1, 0, len(e.Ilist), nil)
 		}
 		e.outSet.Remove(o)
 		e.outs = e.outs[:len(e.outs)-1]
@@ -483,7 +513,7 @@ func (e *incEnum) reachableFromInput(o int) bool {
 // must keep a surviving path to o (the paper's "quick dismissal" of seed
 // sets violating definition 5's condition 2). A branch whose seed went dead
 // reproduces only cuts that the branch without that seed generates.
-func (e *incEnum) pickInputs(depth, oTopo, o, ninLeft, noutLeft, seedStart, phaseStart int, pBack, pOnPath *bitset.Set) bool {
+func (e *incEnum) pickInputs(depth, oTopo, o, ninLeft, noutLeft, seedStart, phaseStart int, pBack *bitset.Set) bool {
 	e.checkDeadline()
 	if e.stopped {
 		return false
@@ -491,16 +521,12 @@ func (e *incEnum) pickInputs(depth, oTopo, o, ninLeft, noutLeft, seedStart, phas
 	e.stats.LTRuns++
 	onPath := e.pathBuf(depth)
 	back := e.backBuf(depth)
-	reachable, chain := e.analyzePaths(o, back, onPath, pBack, pOnPath, nil)
+	reachable, chain := e.analyzePaths(o, back, onPath, pBack, e.chainBuf(depth), ninLeft > 0)
+	e.chains[depth] = chain // keep any capacity growth for reuse
 	for _, v := range e.Ilist[phaseStart:] {
-		alive := false
-		for _, s := range e.g.Succs(v) {
-			if s == o || back.Has(s) {
-				alive = true
-				break
-			}
-		}
-		if !alive {
+		// Alive ⟺ some successor of v still reaches o avoiding I; o itself
+		// is a member of back, so one row intersection answers it.
+		if !e.g.SuccsIntersect(v, back) {
 			e.stats.SeedsPruned++
 			return false
 		}
@@ -591,7 +617,7 @@ func (e *incEnum) pickInputs(depth, oTopo, o, ninLeft, noutLeft, seedStart, phas
 			e.rebuildS()
 			sub := false
 			if e.viable(ninLeft - 1) {
-				sub = e.pickInputs(depth+1, oTopo, o, ninLeft-1, noutLeft, idx+1, phaseStart, back, onPath)
+				sub = e.pickInputs(depth+1, oTopo, o, ninLeft-1, noutLeft, idx+1, phaseStart, back)
 			}
 			e.popInput(i)
 			e.S.Copy(saved)
@@ -627,25 +653,13 @@ func (e *incEnum) pruneInput(u, o int) bool {
 	return false
 }
 
-// badInputsFor memoizes, per output, the paper's forbidden-ancestor input
+// badInputsFor returns, per output, the paper's forbidden-ancestor input
 // exclusion (§5.3, approximate): the ancestors of every forbidden ancestor
-// of o. Used only when Options.PruneForbiddenAncestors is set.
+// of o. Precomputed once per graph in newEnumShared (only when
+// Options.PruneForbiddenAncestors is set) and shared read-only across
+// shards, which stops parallel workers from rebuilding identical sets.
 func (e *incEnum) badInputsFor(o int) *bitset.Set {
-	if s, ok := e.badInputs[o]; ok {
-		return s
-	}
-	bad := bitset.New(e.g.N())
-	e.g.ReachTo(o).ForEach(func(f int) bool {
-		if e.g.IsUserForbidden(f) {
-			bad.Union(e.g.ReachTo(f))
-		}
-		return true
-	})
-	if e.badInputs == nil {
-		e.badInputs = make(map[int]*bitset.Set)
-	}
-	e.badInputs[o] = bad
-	return bad
+	return e.badIn[o]
 }
 
 // forcedInputsWith lower-bounds |I(S)| for any cut that has v among its
@@ -731,14 +745,12 @@ func (e *incEnum) checkCut(depth, oTopo, ninLeft, noutLeft int) {
 		return
 	}
 	e.stats.Candidates++
-	e.g.OutputsInto(e.outTest, e.S)
+	e.tr.OutputsInto(e.outTest, e.S)
 	realOuts := e.outTest.Count()
 	if realOuts <= e.opt.MaxOutputs && !e.S.Empty() && !e.S.Intersects(e.g.ForbiddenSet()) {
-		sig := e.S.Hash128()
-		if e.seen[sig] {
+		if !e.seen.Insert(e.S.Hash128()) {
 			e.stats.Duplicates++
 		} else {
-			e.seen[sig] = true
 			var cut Cut
 			if e.val.Validate(e.S, &cut) {
 				e.stats.Valid++

@@ -106,7 +106,7 @@ func enumerateParallel(g *dfg.Graph, opt Options, visit func(Cut) bool, workers 
 				// merge drains all n of them.
 				if !e.stopped && !stop.Load() {
 					cur = pos
-					clear(e.seen)
+					e.seen.Reset()
 					e.topLevel(pos)
 				}
 				// A shard that hits the deadline raises the shared stop
@@ -133,15 +133,13 @@ func enumerateParallel(g *dfg.Graph, opt Options, visit func(Cut) bool, workers 
 	// subtrees (first occurrence wins, matching the serial global dedup),
 	// and feed the caller's visitor until it stops. Draining continues
 	// after a stop so blocked producers always finish.
-	seen := make(map[[2]uint64]bool)
+	seen := newSigSet()
 	emitted, unique := 0, 0
 	ord.Drain(func(c Cut) {
 		emitted++
-		sig := c.Nodes.Hash128()
-		if seen[sig] {
+		if !seen.Insert(c.Nodes.Hash128()) {
 			return
 		}
-		seen[sig] = true
 		unique++
 		if !stop.Load() && !visit(c) {
 			stop.Store(true)

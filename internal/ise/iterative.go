@@ -65,12 +65,14 @@ func IterativeIdentify(g *dfg.Graph, eopt enum.Options, m Model, maxRounds int) 
 		enum.Enumerate(cur, eopt, func(c enum.Cut) bool {
 			e := est.Estimate(c)
 			if e.Saving > best.Saving {
-				if eopt.KeepCuts {
-					best = e
-				} else {
-					e.Cut.Nodes = e.Cut.Nodes.Clone()
-					best = e
+				if !eopt.KeepCuts {
+					// The visitor's cut shares enumeration scratch (node
+					// set AND input/output slices) that later candidates
+					// overwrite; retaining it across calls needs a full
+					// clone.
+					e.Cut = e.Cut.Clone()
 				}
+				best = e
 			}
 			return true
 		})
