@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race bench bench-json bench-json-quick fuzz ci
+.PHONY: build vet test test-race bench bench-json bench-json-quick bench-gate fuzz ci
 
 build:
 	$(GO) build ./...
@@ -25,20 +25,30 @@ bench:
 	$(GO) test -bench=. -benchtime=1x .
 	$(GO) test -bench=. -benchtime=1x ./internal/bench/
 
-# Machine-readable perf record: runs the tier-1 enumeration benchmarks and
-# commits the numbers (ns/op, allocs/op, cuts/sec for the serial and the
-# sharded configuration) to BENCH_PR2.json so the performance trajectory is
-# tracked in-repo. bench-json-quick skips the 220-node pair; ci uses it as a
-# smoke test that the harness itself keeps working.
+# Machine-readable perf record: runs the tier-1 enumeration benchmarks —
+# including the worker-count scaling curve at real GOMAXPROCS — and commits
+# the numbers (ns/op, allocs/op, cuts/sec, speedup_vs_serial) to
+# BENCH_PR3.json so the performance trajectory is tracked in-repo.
+# bench-json-quick skips the 220-node scaling curve.
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_PR2.json
+	$(GO) run ./cmd/benchjson -o BENCH_PR3.json
 
 bench-json-quick:
 	$(GO) run ./cmd/benchjson -o /tmp/bench_smoke.json -quick -iters 1
+
+# Regression gate: re-measure the quick tier-1 benchmarks and fail when
+# cuts/sec drops more than 15% below the committed baseline (or when cut
+# counts drift at all — that is a correctness bug, not noise). CI runs this
+# so a perf regression breaks the build the same way a test failure does.
+# The baseline is machine-specific: after moving CI to different hardware,
+# re-record it there with `make bench-json` (or gate with a looser
+# -regress) instead of comparing against another machine's numbers.
+bench-gate:
+	$(GO) run ./cmd/benchjson -o /tmp/bench_gate.json -quick -iters 3 -compare BENCH_PR3.json
 
 # Short fuzz run over the graphio parser; the committed seed corpus under
 # internal/graphio/testdata/ always runs as part of plain `make test`.
 fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/graphio/
 
-ci: test test-race bench-json-quick
+ci: test test-race bench-gate

@@ -3,12 +3,25 @@
 // benchmark), so the performance trajectory of the repository is committed
 // alongside the code instead of living in transient CI logs.
 //
-// The benchmark instances mirror bench_test.go exactly: the 220-node
-// serial-versus-sharded pair of BenchmarkParallelEnumerate and the figure 5
-// size clusters (polynomial algorithm versus the pruned exhaustive search
-// of [15]). Usage:
+// The benchmark instances mirror bench_test.go: the 220-node workload is
+// measured as a worker-count scaling curve (1, 2, 4 and GOMAXPROCS
+// workers, each entry carrying its speedup over the serial run), and the
+// figure 5 size clusters compare the polynomial algorithm against the
+// pruned exhaustive search of [15]. The record is taken at the process's
+// real GOMAXPROCS — the committed gomaxprocs field says what the parallel
+// entries actually had available, so a single-core recording machine is
+// visible in the data instead of silently flattening the curve.
 //
-//	go run ./cmd/benchjson -o BENCH_PR2.json [-iters 3] [-quick]
+// With -compare the command doubles as the CI regression gate: after
+// measuring, each benchmark is checked against the same-named entry of the
+// committed baseline file, and the process exits non-zero when cuts/sec
+// regressed by more than -regress (default 15%) or when the cut count
+// drifted at all (a correctness failure, not a performance one).
+//
+// Usage:
+//
+//	go run ./cmd/benchjson -o BENCH_PR3.json [-iters 3] [-quick]
+//	go run ./cmd/benchjson -o /tmp/fresh.json -quick -compare BENCH_PR3.json
 package main
 
 import (
@@ -18,6 +31,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"polyise"
@@ -28,32 +42,63 @@ import (
 type Result struct {
 	Name        string  `json:"name"`
 	Iterations  int     `json:"iterations"`
+	Workers     int     `json:"workers,omitempty"`
 	NsPerOp     int64   `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	Cuts        int     `json:"cuts"`
 	CutsPerSec  float64 `json:"cuts_per_sec"`
+	// SpeedupVsSerial is cuts/sec relative to the workers=1 entry of the
+	// same workload; only scaling-curve entries carry it.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
 }
 
 // Report is the file-level envelope.
 type Report struct {
 	GoVersion  string   `json:"go_version"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
 	Benchmarks []Result `json:"benchmarks"`
 }
 
+// minMeasure is the minimum measured wall time per benchmark: sub-
+// millisecond instances at a fixed iteration count are too noisy for the
+// 15% regression gate, so measure scales the iteration count up (like
+// testing.B) until the measurement window is at least this long.
+const minMeasure = time.Second
+
 func measure(name string, iters int, run func(visit func(polyise.Cut) bool) polyise.Stats) Result {
 	var ms0, ms1 runtime.MemStats
+	var elapsed time.Duration
 	cuts := 0
-	runtime.GC()
-	runtime.ReadMemStats(&ms0)
-	start := time.Now()
-	for i := 0; i < iters; i++ {
-		cuts = 0
-		run(func(polyise.Cut) bool { cuts++; return true })
+	for {
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			cuts = 0
+			run(func(polyise.Cut) bool { cuts++; return true })
+		}
+		elapsed = time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		if elapsed >= minMeasure {
+			break
+		}
+		// Re-measure with enough iterations to fill the window (plus 20%
+		// headroom, capped against pathological scaling).
+		per := elapsed / time.Duration(iters)
+		if per <= 0 {
+			per = time.Microsecond
+		}
+		next := int(minMeasure*12/10/per) + 1
+		if next > 100*iters {
+			next = 100 * iters
+		}
+		if next <= iters {
+			break
+		}
+		iters = next
 	}
-	elapsed := time.Since(start)
-	runtime.ReadMemStats(&ms1)
 	nsPerOp := elapsed.Nanoseconds() / int64(iters)
 	res := Result{
 		Name:        name,
@@ -71,10 +116,76 @@ func measure(name string, iters int, run func(visit func(polyise.Cut) bool) poly
 	return res
 }
 
+// scalingWorkerCounts is the committed scaling curve: serial, 2, 4, and
+// whatever the recording machine actually has, deduplicated and sorted —
+// a 4-core machine records {1, 2, 4} once and an N-core machine adds N.
+func scalingWorkerCounts() []int {
+	counts := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	var out []int
+	for _, c := range counts {
+		if c >= 1 && !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// scalingName labels a worker-count entry purely by its worker count
+// (plus the historical "serial" name for 1), never by GOMAXPROCS: on a
+// 2- or 4-core machine a GOMAXPROCS-derived name would swallow the w2/w4
+// entry, and gate comparisons against a baseline from a different machine
+// would silently skip exactly the sharded configurations.
+func scalingName(workers int) string {
+	if workers == 1 {
+		return "ParallelEnumerate/serial"
+	}
+	return fmt.Sprintf("ParallelEnumerate/w%d", workers)
+}
+
+// gate compares fresh results against the committed baseline and returns
+// the regression messages (empty = pass). Benchmarks absent from either
+// side are skipped: the gate protects the tier-1 set both files measured.
+func gate(fresh, baseline []Result, regress float64) []string {
+	base := make(map[string]Result, len(baseline))
+	for _, b := range baseline {
+		base[b.Name] = b
+	}
+	var failures []string
+	for _, f := range fresh {
+		b, ok := base[f.Name]
+		if !ok {
+			continue
+		}
+		// Cut-count drift is a correctness failure and fires regardless of
+		// the baseline's timing fields (even a zero-cut baseline is gated).
+		if f.Cuts != b.Cuts {
+			failures = append(failures,
+				fmt.Sprintf("%s: cut count drifted: %d, baseline %d (correctness regression)",
+					f.Name, f.Cuts, b.Cuts))
+			continue
+		}
+		if b.CutsPerSec <= 0 {
+			continue
+		}
+		if f.CutsPerSec < b.CutsPerSec*(1-regress) {
+			failures = append(failures,
+				fmt.Sprintf("%s: %.0f cuts/sec is %.1f%% below baseline %.0f (allowed %.0f%%)",
+					f.Name, f.CutsPerSec,
+					100*(1-f.CutsPerSec/b.CutsPerSec), b.CutsPerSec, 100*regress))
+		}
+	}
+	return failures
+}
+
 func main() {
-	out := flag.String("o", "BENCH_PR2.json", "output JSON path")
+	out := flag.String("o", "BENCH_PR3.json", "output JSON path")
 	iters := flag.Int("iters", 2, "iterations per benchmark")
-	quick := flag.Bool("quick", false, "skip the 220-node serial/parallel pair (CI smoke)")
+	quick := flag.Bool("quick", false, "skip the 220-node scaling curve (CI smoke)")
+	compare := flag.String("compare", "", "baseline BENCH_*.json to gate against (exit 1 on regression)")
+	regress := flag.Float64("regress", 0.15, "allowed cuts/sec regression fraction for -compare")
 	flag.Parse()
 
 	opts := func(par int) polyise.Options {
@@ -87,17 +198,25 @@ func main() {
 	var rep Report
 	rep.GoVersion = runtime.Version()
 	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.NumCPU = runtime.NumCPU()
 
 	if !*quick {
 		g := workload.MiBenchLike(rand.New(rand.NewSource(17)), 220, workload.DefaultProfile())
-		rep.Benchmarks = append(rep.Benchmarks,
-			measure("ParallelEnumerate/serial", *iters, func(v func(polyise.Cut) bool) polyise.Stats {
-				return polyise.Enumerate(g, opts(1), v)
-			}),
-			measure("ParallelEnumerate/parallel", *iters, func(v func(polyise.Cut) bool) polyise.Stats {
-				return polyise.Enumerate(g, opts(0), v)
-			}),
-		)
+		serialCPS := 0.0
+		for _, workers := range scalingWorkerCounts() {
+			w := workers
+			res := measure(scalingName(w), *iters, func(v func(polyise.Cut) bool) polyise.Stats {
+				return polyise.Enumerate(g, opts(w), v)
+			})
+			res.Workers = w
+			if w == 1 {
+				serialCPS = res.CutsPerSec
+			}
+			if serialCPS > 0 {
+				res.SpeedupVsSerial = res.CutsPerSec / serialCPS
+			}
+			rep.Benchmarks = append(rep.Benchmarks, res)
+		}
 	}
 
 	for _, s := range []struct {
@@ -128,4 +247,26 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+
+	if *compare != "" {
+		raw, err := os.ReadFile(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+			os.Exit(1)
+		}
+		var baseline Report
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+			os.Exit(1)
+		}
+		failures := gate(rep.Benchmarks, baseline.Benchmarks, *regress)
+		if len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintln(os.Stderr, "bench-gate FAIL:", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench-gate: %d benchmarks within %.0f%% of %s\n",
+			len(rep.Benchmarks), 100**regress, *compare)
+	}
 }

@@ -1,0 +1,139 @@
+package dfg
+
+import (
+	"math/bits"
+
+	"polyise/internal/bitset"
+)
+
+// This file implements the delta-maintenance kernels of the incremental
+// search-state engine. The enumeration of package enum maintains the cut
+//
+//	S = ⋃_j B(I, o_j)   (theorem 3: everything reaching a chosen output
+//	                     along a path avoiding the chosen inputs)
+//
+// across search-tree pushes. Recomputing S from scratch at every node of
+// the search tree costs a full backward traversal per push; the kernels
+// here update S in place and report the exact delta, so a push costs work
+// proportional to the region that actually changes and the undo is a single
+// word-parallel set operation on the journaled delta:
+//
+//   - GrowCut handles an output push (monotone: S only gains vertices). The
+//     per-output backward cone B(∅, o) is memoized at Freeze time — it is
+//     exactly reachTo(o) — so when no chosen input lies inside the cone the
+//     push is one OR/clip over the cone row; otherwise a backward frontier
+//     traversal confined to the cone's unblocked, not-yet-in-S region
+//     derives exactly the new vertices.
+//
+//   - ShrinkCut handles an input push (non-monotone: the new input w and
+//     every vertex whose last surviving path ran through w leave S). Only
+//     ancestors of w can leave, so the recomputation is confined to
+//     region = reachTo(w) ∩ S: survivors are seeded word-parallel (chosen
+//     outputs in the region, plus any region vertex with an edge into the
+//     untouched part of S) and closed backward inside the region. When the
+//     region is a large fraction of S the kernel falls back to the
+//     from-scratch rebuild (CutNodesInto), which stays the reference
+//     semantics — the property tests pin both paths to it.
+//
+// Both kernels return their delta disjoint from (resp. contained in) S so
+// the caller's undo journal is exact: undo a GrowCut with S.Subtract(delta)
+// and a ShrinkCut with S.Union(removed).
+
+// shrinkFallbackNum/Den control when ShrinkCut abandons the incremental
+// removal for the from-scratch rebuild: the candidate region (ancestors of
+// the new input inside S) must stay under num/den of |S|. The incremental
+// path costs ~three word-parallel passes over the region against one
+// backward traversal of the surviving cut, so beyond half of S the rebuild
+// wins. Variables rather than constants so the property tests can force
+// each path deterministically.
+var shrinkFallbackNum, shrinkFallbackDen = 1, 2
+
+// GrowCut grows the incrementally maintained cut S for a newly chosen
+// output o: S ← S ∪ {o} ∪ B(I, o), with I given as the inputs bitset. The
+// vertices actually added are recorded in delta (disjoint from the old S),
+// so the caller can undo the push exactly with S.Subtract(delta).
+//
+// Preconditions: o ∉ S and o ∉ inputs (the enumeration's admissibility
+// rules guarantee both).
+func (t *Traverser) GrowCut(S, delta *bitset.Set, o int, inputs *bitset.Set) {
+	cone := t.g.reachTo[o] // B(∅, o) \ {o}, memoized by Freeze
+	if !inputs.Intersects(cone) {
+		// No input can sever any ancestor of o from o, so B(I, o) is the
+		// whole cone: one OR, clipped against the vertices already in S.
+		delta.CopyAndNot(cone, S)
+		delta.Add(o)
+		S.Union(delta)
+		return
+	}
+	// Some ancestors of o are blocked. Traverse backward from o through the
+	// unblocked part of the cone, skipping vertices already in S: a
+	// predecessor chain that meets S stays inside S (its members reach an
+	// earlier output avoiding I through the very same vertex), so stopping
+	// at S loses nothing and confines the work to the genuinely new region.
+	allowed := t.allowed
+	allowed.CopyAndNot(cone, inputs)
+	allowed.Subtract(S)
+	delta.Clear()
+	delta.Add(o)
+	t.closure(delta, t.g.predBits, allowed)
+	S.Union(delta)
+}
+
+// ShrinkCut shrinks the incrementally maintained cut S for a newly chosen
+// input w: S ← S \ {vertices whose every surviving path to a chosen output
+// ran through w}, w itself included. The removed vertices are recorded in
+// removed (a subset of the old S), so the caller can undo the push exactly
+// with S.Union(removed).
+//
+// Preconditions: w ∈ S, and inputs already contains w (push the input
+// first, then shrink). outs lists the chosen outputs; outSet is the same
+// set in bitset form. Chosen outputs are never removed (they cannot be
+// inputs, so each trivially reaches itself).
+func (t *Traverser) ShrinkCut(S, removed *bitset.Set, w int, outs []int, outSet, inputs *bitset.Set) {
+	g := t.g
+	region := t.region
+	region.CopyIntersect(g.reachTo[w], S) // removal candidates besides w itself
+
+	if region.Count()*shrinkFallbackDen > S.Count()*shrinkFallbackNum {
+		// Non-monotone worst case: most of S is upstream of w, so the
+		// confined recomputation would touch nearly everything. Rebuild
+		// from scratch (the reference semantics) and diff for the journal.
+		newS := t.scratchS
+		t.CutNodesInto(newS, outs, inputs)
+		removed.CopyAndNot(S, newS)
+		S.Copy(newS)
+		return
+	}
+
+	// Vertices of S outside the region survive: they do not reach w, so
+	// their surviving paths cannot contain it. They seed survival into the
+	// region: a region vertex with an edge into rest = S \ region \ {w}
+	// keeps an avoiding path, as does a chosen output inside the region.
+	rest := t.rest
+	rest.CopyAndNot(S, region)
+	rest.Remove(w)
+	surv := t.surv
+	surv.CopyIntersect(outSet, region)
+	rw := rest.Words()
+	stride := g.stride
+	for wi, word := range region.Words() {
+		for word != 0 {
+			v := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			row := g.succBits[v*stride : (v+1)*stride]
+			for i, r := range row {
+				if r&rw[i] != 0 {
+					surv.Add(v)
+					break
+				}
+			}
+		}
+	}
+	// Survival propagates to predecessors inside the region (an edge into a
+	// survivor extends its avoiding path), and never through w: w is not a
+	// region member, so the closure cannot resurrect it.
+	t.closure(surv, g.predBits, region)
+	removed.CopyAndNot(region, surv)
+	removed.Add(w)
+	S.Subtract(removed)
+}

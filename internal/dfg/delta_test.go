@@ -1,0 +1,191 @@
+package dfg
+
+// Property tests for the delta-maintenance kernels of the incremental
+// search-state engine: across randomized push/pop sequences of outputs and
+// inputs, the cut S maintained by GrowCut/ShrinkCut plus their undo
+// journals must stay identical to the from-scratch reference CutNodesInto
+// (package enum's rebuildS) after every single operation. Graph sizes cross
+// every closure stride class, and the ShrinkCut fallback threshold is
+// swept so both the confined incremental removal and the from-scratch
+// non-monotone fallback are exercised on the same sequences.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"polyise/internal/bitset"
+)
+
+// deltaOp is one recorded push, with its journaled delta for undoing.
+type deltaOp struct {
+	isOutput bool
+	v        int
+	delta    *bitset.Set
+}
+
+// checkAgainstRebuild compares the maintained S with the from-scratch
+// reference for the current outs/inputs.
+func checkAgainstRebuild(t *testing.T, tr *Traverser, S *bitset.Set, outs []int, inputs *bitset.Set, step string) bool {
+	t.Helper()
+	ref := bitset.New(S.Cap())
+	tr.CutNodesInto(ref, outs, inputs)
+	if !S.Equal(ref) {
+		t.Logf("%s: maintained S %v != rebuilt %v (outs=%v inputs=%v)",
+			step, S.Members(), ref.Members(), outs, inputs.Members())
+		return false
+	}
+	return true
+}
+
+// runDeltaSequence drives one randomized push/pop sequence on g, verifying
+// S against the reference after every operation, and returns false on the
+// first mismatch.
+func runDeltaSequence(t *testing.T, r *rand.Rand, g *Graph, steps int) bool {
+	t.Helper()
+	n := g.N()
+	tr := g.NewTraverser()
+	S := bitset.New(n)
+	inputs := bitset.New(n)
+	outSet := bitset.New(n)
+	var outs []int
+	var stack []deltaOp
+
+	for step := 0; step < steps; step++ {
+		op := r.Intn(3)
+		switch {
+		case op == 0 && len(stack) > 0: // pop
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if top.isOutput {
+				S.Subtract(top.delta)
+				outs = outs[:len(outs)-1]
+				outSet.Remove(top.v)
+			} else {
+				S.Union(top.delta)
+				inputs.Remove(top.v)
+			}
+		case op == 1: // push output: any vertex outside S and I
+			o := r.Intn(n)
+			if S.Has(o) || inputs.Has(o) || outSet.Has(o) {
+				continue
+			}
+			delta := bitset.New(n)
+			tr.GrowCut(S, delta, o, inputs)
+			outs = append(outs, o)
+			outSet.Add(o)
+			stack = append(stack, deltaOp{isOutput: true, v: o, delta: delta})
+		default: // push input: any member of S that is not a chosen output
+			if S.Empty() {
+				continue
+			}
+			w := -1
+			for probe := 0; probe < 8; probe++ {
+				c := r.Intn(n)
+				if S.Has(c) && !outSet.Has(c) {
+					w = c
+					break
+				}
+			}
+			if w < 0 {
+				continue
+			}
+			removed := bitset.New(n)
+			inputs.Add(w)
+			tr.ShrinkCut(S, removed, w, outs, outSet, inputs)
+			stack = append(stack, deltaOp{isOutput: false, v: w, delta: removed})
+		}
+		if !checkAgainstRebuild(t, tr, S, outs, inputs, "after op") {
+			return false
+		}
+	}
+	// Unwind everything: the journal must restore the empty cut exactly.
+	for len(stack) > 0 {
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if top.isOutput {
+			S.Subtract(top.delta)
+			outs = outs[:len(outs)-1]
+			outSet.Remove(top.v)
+		} else {
+			S.Union(top.delta)
+			inputs.Remove(top.v)
+		}
+		if !checkAgainstRebuild(t, tr, S, outs, inputs, "during unwind") {
+			return false
+		}
+	}
+	if !S.Empty() {
+		t.Logf("S not empty after full unwind: %v", S.Members())
+		return false
+	}
+	return true
+}
+
+// TestDeltaCutMatchesRebuild pins the delta-maintained cut to the
+// from-scratch reference across random push/pop sequences, under both
+// ShrinkCut policies: the confined incremental removal (fallback disabled)
+// and the from-scratch fallback (forced), plus the production threshold.
+func TestDeltaCutMatchesRebuild(t *testing.T) {
+	savedNum, savedDen := shrinkFallbackNum, shrinkFallbackDen
+	defer func() { shrinkFallbackNum, shrinkFallbackDen = savedNum, savedDen }()
+
+	policies := []struct {
+		name     string
+		num, den int
+	}{
+		{"incremental-only", 1, 0}, // region*0 > |S|*1 never holds
+		{"fallback-always", 0, 1},  // region*1 > 0 holds for any non-empty region
+		{"production", savedNum, savedDen},
+	}
+	for _, pol := range policies {
+		t.Run(pol.name, func(t *testing.T) {
+			shrinkFallbackNum, shrinkFallbackDen = pol.num, pol.den
+			f := func(seed int64) bool {
+				r := rand.New(rand.NewSource(seed))
+				g := randTraverseGraph(r, traverseSize(r)) // crosses stride 1–4 + generic
+				return runDeltaSequence(t, r, g, 40)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestGrowCutConeFastPath forces the memoized-cone OR fast path (no input
+// inside the new output's ancestor cone) and the clipped-traversal slow
+// path on the same graph, checking both against the reference.
+func TestGrowCutConeFastPath(t *testing.T) {
+	// Chain a→b→c→d plus side root e feeding c: cone(d) = {a,b,c,e}.
+	g := New()
+	a := g.MustAddNode(OpVar, "a")
+	b := g.MustAddNode(OpAdd, "b", a)
+	e := g.MustAddNode(OpVar, "e")
+	c := g.MustAddNode(OpAdd, "c", b, e)
+	d := g.MustAddNode(OpNot, "d", c)
+	g.MustFreeze()
+
+	tr := g.NewTraverser()
+	n := g.N()
+
+	// Fast path: no inputs at all.
+	S := bitset.New(n)
+	delta := bitset.New(n)
+	inputs := bitset.New(n)
+	tr.GrowCut(S, delta, d, inputs)
+	want := bitset.FromMembers(n, a, b, e, c, d)
+	if !S.Equal(want) || !delta.Equal(want) {
+		t.Fatalf("fast path: S=%v delta=%v want %v", S.Members(), delta.Members(), want.Members())
+	}
+
+	// Slow path: input b sits inside cone(d), so only {c,d,e} join.
+	S.Clear()
+	delta.Clear()
+	inputs.Add(b)
+	tr.GrowCut(S, delta, d, inputs)
+	want = bitset.FromMembers(n, e, c, d)
+	if !S.Equal(want) || !delta.Equal(want) {
+		t.Fatalf("slow path: S=%v delta=%v want %v", S.Members(), delta.Members(), want.Members())
+	}
+}

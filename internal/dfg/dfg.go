@@ -208,35 +208,20 @@ func (g *Graph) Freeze() error {
 		g.oext.Add(v)
 	}
 
-	// Nodes are already in a topological order by construction (AddNode only
-	// accepts existing predecessors), but we compute an explicit order anyway
-	// so the invariant is independent of construction details.
-	g.topo = make([]int, 0, n)
+	// Node ids are a topological order by construction: AddNode only accepts
+	// already-existing predecessors, so every edge goes from a smaller id to
+	// a larger one and the graph is acyclic. Freeze pins topo to the
+	// identity permutation rather than deriving a fresh order, because the
+	// traversal engine exploits id ≡ position: bit index i of an adjacency
+	// row IS topological position i, so "highest successor position inside a
+	// region" reduces to a highest-set-bit scan of one masked row — the
+	// operation the incremental dominator sweeps of package enum are built
+	// on (see analyzePaths and mandatoryInto there).
+	g.topo = make([]int, n)
 	g.topoPos = make([]int, n)
-	indeg := make([]int, n)
 	for v := 0; v < n; v++ {
-		indeg[v] = len(g.preds[v])
-	}
-	queue := make([]int, 0, n)
-	for v := 0; v < n; v++ {
-		if indeg[v] == 0 {
-			queue = append(queue, v)
-		}
-	}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		g.topoPos[v] = len(g.topo)
-		g.topo = append(g.topo, v)
-		for _, s := range g.succs[v] {
-			indeg[s]--
-			if indeg[s] == 0 {
-				queue = append(queue, s)
-			}
-		}
-	}
-	if len(g.topo) != n {
-		return errors.New("dfg: graph has a cycle")
+		g.topo[v] = v
+		g.topoPos[v] = v
 	}
 
 	// Reachability by dynamic programming over the topological order.

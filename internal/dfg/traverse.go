@@ -29,6 +29,12 @@ type Traverser struct {
 	frontier *bitset.Set
 	next     *bitset.Set
 	allowed  *bitset.Set
+
+	// Scratch of the delta-maintenance kernels (delta.go).
+	region   *bitset.Set
+	rest     *bitset.Set
+	surv     *bitset.Set
+	scratchS *bitset.Set
 }
 
 // NewTraverser returns a Traverser over g. The graph must be frozen.
@@ -42,6 +48,10 @@ func (g *Graph) NewTraverser() *Traverser {
 		frontier: bitset.New(n),
 		next:     bitset.New(n),
 		allowed:  bitset.New(n),
+		region:   bitset.New(n),
+		rest:     bitset.New(n),
+		surv:     bitset.New(n),
+		scratchS: bitset.New(n),
 	}
 }
 
@@ -242,6 +252,21 @@ func (t *Traverser) closureGeneric(dst *bitset.Set, rowBits []uint64, allowed *b
 		}
 		fr, nx = nx, fr
 	}
+}
+
+// HighestMaskedBit returns the highest bit index set in row ∧ mask, or -1
+// when the intersection is empty. With the identity topological order that
+// Freeze pins (bit index ≡ topological position), applying it to an
+// adjacency row masked by a region gives the highest-positioned neighbour
+// inside the region — the load-bearing query of the running-max dominator
+// sweeps in package enum (analyzePaths, mandatoryInto).
+func HighestMaskedBit(row, mask []uint64) int {
+	for i := len(row) - 1; i >= 0; i-- {
+		if m := row[i] & mask[i]; m != 0 {
+			return i<<6 + 63 - bits.LeadingZeros64(m)
+		}
+	}
+	return -1
 }
 
 // ForwardClosure extends the pre-seeded dst with everything reachable from

@@ -31,7 +31,8 @@ const none = int32(-1)
 // safe for concurrent use; create one per goroutine.
 type Solver struct {
 	n     int
-	root  int32
+	root  int32 // root of the most recent run (Reset may move it)
+	croot int32 // construction root, the one Run always uses
 	succs [][]int32
 	preds [][]int32
 
@@ -48,6 +49,7 @@ type Solver struct {
 	stack    []int32    // scratch for path compression
 	dfsStack [][2]int32 // scratch for the depth-first search
 	reached  int        // number of vertices reached by last Run
+	primed   bool       // arena invariant established (see Reset)
 }
 
 // NewSolver creates a solver for the digraph with n vertices, the given
@@ -57,6 +59,7 @@ func NewSolver(n, root int, succs, preds [][]int32) *Solver {
 	s := &Solver{
 		n:     n,
 		root:  int32(root),
+		croot: int32(root),
 		succs: succs,
 		preds: preds,
 	}
@@ -90,14 +93,48 @@ func ReverseSolver(g *dfg.Graph) *Solver {
 // Run computes immediate dominators, ignoring any vertex in blocked (nil
 // means no blocking). Blocked vertices and vertices unreachable from the
 // root get IDom == -1. It returns the number of reached vertices.
+//
+// Run is Reset at the construction root (always, even after Reset has
+// solved at a different root): successive runs reuse the solver arena and
+// pay initialization only for the region the previous run reached.
 func (s *Solver) Run(blocked *bitset.Set) int {
-	n := s.n
-	for i := 0; i < n; i++ {
-		s.dfnum[i] = none
-		s.idom[i] = none
-		s.ancestor[i] = none
-		s.buckets[i] = none
+	return s.Reset(int(s.croot), blocked)
+}
+
+// Reset re-arms the solver arena and solves immediately: it clears only the
+// per-vertex state the previous run touched (the renumbered region —
+// Lengauer–Tarjan only ever writes dominator state for vertices its
+// depth-first search numbered), moves the root to the given vertex, and
+// runs the algorithm with every vertex in seeds blocked (nil means no
+// blocking). This is the per-step entry point of the multiple-vertex
+// dominator search, which solves thousands of reduced graphs per
+// enumeration: each solve costs O(region reached) rather than O(n) in
+// initialization, and no per-run state is allocated.
+//
+// The arena invariant — dfnum/idom/ancestor/buckets are `none` outside the
+// previously reached region — is established on the first call and
+// maintained by the confined clear afterwards. Results are identical to a
+// fresh NewSolver + Run (the property tests pin this).
+func (s *Solver) Reset(root int, seeds *bitset.Set) int {
+	if !s.primed {
+		for i := 0; i < s.n; i++ {
+			s.dfnum[i] = none
+			s.idom[i] = none
+			s.ancestor[i] = none
+			s.buckets[i] = none
+		}
+		s.primed = true
+	} else {
+		for i := 0; i < s.reached; i++ {
+			v := s.vertex[i]
+			s.dfnum[v] = none
+			s.idom[v] = none
+			s.ancestor[v] = none
+			s.buckets[v] = none
+		}
 	}
+	s.root = int32(root)
+	blocked := seeds
 
 	// Iterative depth-first search from the root, skipping blocked vertices.
 	// Vertices are numbered in true preorder (when first visited), which the

@@ -1,0 +1,103 @@
+package domtree
+
+// Property test for the arena-reuse API: a single Solver driven through a
+// sequence of Reset calls — varying both the root and the blocked seed set
+// per step — must produce results identical to a freshly constructed
+// NewSolver + Run at every step. This pins the confined re-initialization
+// (only the previously reached region is cleared between runs) against the
+// straightforward full-clear semantics.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"polyise/internal/bitset"
+)
+
+func TestResetReuseMatchesFreshSolver(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(40)
+		succs, preds := randomDigraph(r, n)
+		arena := NewSolver(n, 0, succs, preds)
+
+		for step := 0; step < 25; step++ {
+			root := r.Intn(n)
+			var blocked *bitset.Set
+			if r.Intn(3) > 0 {
+				blocked = bitset.New(n)
+				for i := 0; i < n/4; i++ {
+					blocked.Add(r.Intn(n))
+				}
+				// A blocked root is legal: the run reaches nothing.
+				if r.Intn(8) > 0 {
+					blocked.Remove(root)
+				}
+			}
+			fresh := NewSolver(n, root, succs, preds)
+			wantReached := fresh.Run(blocked)
+			gotReached := arena.Reset(root, blocked)
+			if gotReached != wantReached {
+				t.Logf("seed=%d step=%d root=%d: reached %d want %d",
+					seed, step, root, gotReached, wantReached)
+				return false
+			}
+			for v := 0; v < n; v++ {
+				if arena.IDom(v) != fresh.IDom(v) || arena.Reachable(v) != fresh.Reachable(v) {
+					t.Logf("seed=%d step=%d root=%d v=%d: idom %d/%v want %d/%v",
+						seed, step, root, v,
+						arena.IDom(v), arena.Reachable(v),
+						fresh.IDom(v), fresh.Reachable(v))
+					return false
+				}
+			}
+			// Run must stay pinned to the construction root even after
+			// Reset solved elsewhere.
+			fresh0 := NewSolver(n, 0, succs, preds)
+			wantReached = fresh0.Run(blocked)
+			gotReached = arena.Run(blocked)
+			if gotReached != wantReached {
+				t.Logf("seed=%d step=%d Run-after-Reset: reached %d want %d",
+					seed, step, gotReached, wantReached)
+				return false
+			}
+			for v := 0; v < n; v++ {
+				if arena.IDom(v) != fresh0.IDom(v) || arena.Reachable(v) != fresh0.Reachable(v) {
+					t.Logf("seed=%d step=%d Run-after-Reset v=%d: idom %d/%v want %d/%v",
+						seed, step, v,
+						arena.IDom(v), arena.Reachable(v),
+						fresh0.IDom(v), fresh0.Reachable(v))
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResetRunAllocs pins the arena promise: after the first run, repeated
+// solves on the same arena allocate nothing, even as roots and blocked sets
+// change.
+func TestResetRunAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	n := 300
+	succs, preds := randomDigraph(r, n)
+	s := NewSolver(n, 0, succs, preds)
+	blocked := bitset.New(n)
+	for i := 0; i < 20; i++ {
+		blocked.Add(r.Intn(n-1) + 1)
+	}
+	s.Run(nil) // primes the arena and the DFS stack
+	allocs := testing.AllocsPerRun(10, func() {
+		s.Reset(0, blocked)
+		s.Reset(n/2, nil)
+		s.Run(blocked)
+	})
+	if allocs > 0 {
+		t.Fatalf("arena-reused solves allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -21,11 +21,9 @@ import (
 func newAnalyzer(g *dfg.Graph) *incEnum {
 	n := g.N()
 	e := &incEnum{
-		g:       g,
-		tr:      g.NewTraverser(),
-		Iuser:   bitset.New(n),
-		posMask: bitset.New(n + 1),
-		diff:    make([]int32, n+1),
+		g:     g,
+		tr:    g.NewTraverser(),
+		Iuser: bitset.New(n),
 	}
 	for v := 0; v < n; v++ {
 		if g.IsRoot(v) || g.IsUserForbidden(v) {

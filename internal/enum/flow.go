@@ -21,6 +21,7 @@ import (
 	"math/bits"
 
 	"polyise/internal/bitset"
+	"polyise/internal/dfg"
 )
 
 // flowScratch holds the reusable state of the unit-vertex-capacity max-flow
@@ -58,8 +59,9 @@ const infCap = int32(1 << 30)
 
 // mandatoryInto computes into dst the vertices (excluding v and o) lying on
 // every v→o path that avoids the other chosen inputs, using the same
-// crossing-count sweep as analyzePaths but rooted at v. If no such path
-// survives, dst is left empty (the caller's dead-seed check handles that).
+// running-max dominator sweep as analyzePaths but rooted at v. If no such
+// path survives, dst is left empty (the caller's dead-seed check handles
+// that).
 func (e *incEnum) mandatoryInto(dst *bitset.Set, v, o int, back *bitset.Set) {
 	dst.Clear()
 	g := e.g
@@ -74,64 +76,28 @@ func (e *incEnum) mandatoryInto(dst *bitset.Set, v, o int, back *bitset.Set) {
 	if !fwd.Has(o) {
 		return
 	}
-	// Crossing sweep over the region with v as the only source; the touched
-	// positions are walked through the position bitset, no sorting.
-	e.touched = e.touched[:0]
-	e.posMask.Clear()
-	vPos, oPos := int32(g.TopoPos(v)), int32(g.TopoPos(o))
-	mark := func(p, d int32) {
-		if e.diff[p] == 0 {
-			e.touched = append(e.touched, p)
-		}
-		e.diff[p] += d
-		e.posMask.Add(int(p))
-	}
+	// Running-max sweep with v as the only source: x lies on every v→o
+	// region path iff no region vertex before it has a region successor
+	// past it. Identity topological order (id ≡ position) makes the walk
+	// one ascending pass over the region words, with each vertex's highest
+	// region successor a highest-set-bit scan of its masked row; v is the
+	// region's minimum and o its maximum, so they bracket the walk.
 	fw := fwd.Words()
+	runMax := -1
 	for wi, w := range fw {
 		for w != 0 {
 			x := wi<<6 + bits.TrailingZeros64(w)
 			w &= w - 1
-			px := int32(g.TopoPos(x))
-			if x != o && x != v {
-				e.posMask.Add(int(px))
+			if x == o {
+				return
 			}
-			cnt := int32(0)
-			for i, rw := range g.SuccRow(x) {
-				m := rw & fw[i]
-				cnt += int32(bits.OnesCount64(m))
-				for m != 0 {
-					s := i<<6 + bits.TrailingZeros64(m)
-					m &= m - 1
-					mark(int32(g.TopoPos(s)), -1)
-				}
-			}
-			if cnt != 0 {
-				mark(px+1, cnt)
-			}
-		}
-	}
-	sum := int32(0)
-	topo := g.Topo()
-sweep:
-	for wi, w := range e.posMask.Words() {
-		for w != 0 {
-			p := int32(wi<<6 + bits.TrailingZeros64(w))
-			w &= w - 1
-			if p >= oPos {
-				break sweep
-			}
-			sum += e.diff[p]
-			if p <= vPos {
-				continue
-			}
-			x := topo[p]
-			if sum == 0 && fwd.Has(x) {
+			if x != v && runMax <= x {
 				dst.Add(x)
 			}
+			if p := dfg.HighestMaskedBit(g.SuccRow(x), fw); p > runMax {
+				runMax = p
+			}
 		}
-	}
-	for _, p := range e.touched {
-		e.diff[p] = 0
 	}
 }
 

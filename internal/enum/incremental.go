@@ -23,8 +23,14 @@ import (
 // through w), because theorem 3 subtracts the final input set. The paper
 // claims S only ever grows, but that discipline loses cuts whose inputs lie
 // inside an earlier B(I, o) — see the {d,g} example in the tests — so S is
-// rebuilt exactly after every input push and snapshotted per recursion
-// level.
+// maintained exactly across every push. Exact maintenance no longer means
+// from-scratch recomputation: each output or input push applies a journaled
+// delta to S (dfg.Traverser.GrowCut / ShrinkCut) whose cost follows the
+// region the push actually changes, and each pop replays the journal
+// backward — see the "incremental search-state engine" note in the package
+// comment. rebuildS, the from-scratch recomputation, remains the reference
+// the property tests pin the deltas to and the fallback for non-monotone
+// input pushes that invalidate most of S.
 //
 // Every candidate S with at most Nout outputs (internal outputs included,
 // per the output–output pruning) is validated against the full §3 problem
@@ -155,8 +161,6 @@ func (sh *enumShared) newWorker(visit func(Cut) bool, ext *atomic.Bool) *incEnum
 		Iuser:   bitset.New(n),
 		outSet:  bitset.New(n),
 		outTest: bitset.New(n),
-		posMask: bitset.New(n + 1),
-		diff:    make([]int32, n+1),
 	}
 }
 
@@ -182,26 +186,54 @@ type incEnum struct {
 	permOut *bitset.Set   // shared: vertices that are outputs forever once in S
 	badIn   []*bitset.Set // shared: per-output forbidden-ancestor exclusions
 
-	snaps        []*bitset.Set // per-depth S snapshots
+	journal      []*bitset.Set // per-depth undo journal: the delta each push applied to S
 	paths        []*bitset.Set // per-depth on-path sets
 	backs        []*bitset.Set // per-depth reaches-o sets
 	chains       [][]int       // per-depth dominator-chain buffers
 	outTest      *bitset.Set
-	posMask      *bitset.Set // scratch: touched topological positions (cap n+1)
-	seed1        [1]int      // scratch: single-seed kernel calls
-	diff         []int32     // scratch: crossing-count difference array
-	touched      []int32     // positions of diff to clear
+	seed1        [1]int // scratch: single-seed kernel calls
 	fs           *flowScratch
 	stopped      bool
 	deadlineTick uint32
 }
 
-// snap returns the snapshot buffer for recursion depth d.
-func (e *incEnum) snap(d int) *bitset.Set {
-	for len(e.snaps) <= d {
-		e.snaps = append(e.snaps, bitset.New(e.g.N()))
+// journalBuf returns the undo-journal buffer for recursion depth d. Each
+// active search-tree push owns the buffer of its own depth: it records the
+// exact set of vertices the push added to (output push) or removed from
+// (input push) the maintained cut S, so the pop is a single word-parallel
+// Subtract/Union instead of a snapshot restore or a from-scratch rebuild.
+func (e *incEnum) journalBuf(d int) *bitset.Set {
+	for len(e.journal) <= d {
+		e.journal = append(e.journal, bitset.New(e.g.N()))
 	}
-	return e.snaps[d]
+	return e.journal[d]
+}
+
+// growS pushes the most recently chosen output onto the maintained cut:
+// S gains {o} ∪ B(I, o) via the delta kernel, with the added vertices
+// journaled at depth d. Undo with undoGrowS(d).
+func (e *incEnum) growS(d int) {
+	o := e.outs[len(e.outs)-1]
+	e.tr.GrowCut(e.S, e.journalBuf(d), o, e.Iuser)
+}
+
+// undoGrowS pops the output push journaled at depth d.
+func (e *incEnum) undoGrowS(d int) {
+	e.S.Subtract(e.journal[d])
+}
+
+// shrinkS pushes input w onto the maintained cut: w and every vertex whose
+// last surviving path ran through w leave S via the delta kernel (which
+// falls back to the from-scratch rebuild when the affected region is most
+// of S), with the removed vertices journaled at depth d. The caller must
+// have pushed w into Iuser already. Undo with undoShrinkS(d).
+func (e *incEnum) shrinkS(d, w int) {
+	e.tr.ShrinkCut(e.S, e.journalBuf(d), w, e.outs, e.outSet, e.Iuser)
+}
+
+// undoShrinkS pops the input push journaled at depth d.
+func (e *incEnum) undoShrinkS(d int) {
+	e.S.Union(e.journal[d])
 }
 
 // pathBuf returns the on-path buffer for recursion depth d.
@@ -246,16 +278,20 @@ func (e *incEnum) chainBuf(d int) []int {
 //
 // Dominators are found without running Lengauer–Tarjan: restricted to the
 // vertices on surviving paths, a vertex dominates o exactly when no
-// surviving edge "jumps over" its topological position, which one
-// difference-array sweep detects (every path must cross every topological
-// rank between source and o, and can do so silently only through an edge).
+// surviving edge "jumps over" its topological position (every path must
+// cross every topological rank between source and o, and can do so
+// silently only through an edge). Because Freeze pins the topological
+// order to the identity permutation, bit index ≡ position, and the test
+// collapses to a running maximum: walking the on-path vertices in
+// ascending order, v dominates o iff no earlier on-path vertex (or on-path
+// entry of the virtual source) has an on-path successor past v — and each
+// vertex's highest on-path successor is one highest-set-bit scan of its
+// masked adjacency row. This replaced the PR 2 difference-array sweep,
+// whose per-edge marking dominated the whole enumeration profile.
 //
-// Both traversals run on the word-parallel engine, and the sweep visits the
-// touched positions through a position bitset walked word-at-a-time instead
-// of sorting them — the sort used to dominate the whole enumeration. When
-// needChain is false (no input budget left) the caller only consumes the
-// reachability answer and the back/onPath sets, so the sweep is skipped
-// entirely.
+// Both traversals run on the word-parallel engine. When needChain is false
+// (no input budget left) the caller only consumes the reachability answer
+// and the back/onPath sets, so the sweep is skipped entirely.
 func (e *incEnum) analyzePaths(o int, back, onPath, pBack *bitset.Set, chain []int, needChain bool) (bool, []int) {
 	g := e.g
 
@@ -285,78 +321,30 @@ func (e *incEnum) analyzePaths(o int, back, onPath, pBack *bitset.Set, chain []i
 		return true, chain
 	}
 
-	// Crossing-count sweep: every edge (a, b) between on-path vertices
-	// contributes +1 on positions strictly between its endpoints; virtual
-	// source edges to on-path entries contribute from position 0. A vertex
-	// on a surviving path dominates o iff its crossing count is zero. The
-	// positions to visit — where the count changes or an on-path vertex
-	// sits — are collected in a position bitset and walked in ascending
-	// order by scanning its words, so no sorting is needed and the cost
-	// still follows the surviving-path region. On-path successors are
-	// selected by masking each vertex's successor row against onPath, one
-	// word at a time.
-	e.touched = e.touched[:0]
-	e.posMask.Clear()
-	oPos := int32(g.TopoPos(o))
-	mark := func(p, d int32) {
-		if e.diff[p] == 0 {
-			e.touched = append(e.touched, p)
-		}
-		e.diff[p] += d
-		e.posMask.Add(int(p))
-	}
+	// Running-max dominator sweep. runMax starts at the highest on-path
+	// entry (every entry carries a virtual-source edge, which jumps over
+	// any vertex before it) and accumulates each visited vertex's highest
+	// on-path successor; an on-path vertex v dominates o exactly when
+	// runMax ≤ v at its turn. Ascending id order IS ascending topological
+	// order (Freeze pins the identity permutation), so one pass over the
+	// onPath words suffices, and o — the region's maximum, every other
+	// member reaches it — terminates the walk.
 	ow := onPath.Words()
-	ew := g.EntrySet().Words()
+	runMax := dfg.HighestMaskedBit(g.EntrySet().Words(), ow)
 	for wi, w := range ow {
-		if src := w & ew[wi]; src != 0 { // virtual source edges
-			for src != 0 {
-				v := wi<<6 + bits.TrailingZeros64(src)
-				src &= src - 1
-				mark(0, 1)
-				mark(int32(g.TopoPos(v)), -1)
-			}
-		}
 		for w != 0 {
 			v := wi<<6 + bits.TrailingZeros64(w)
 			w &= w - 1
-			pv := int32(g.TopoPos(v))
-			if v != o {
-				e.posMask.Add(int(pv)) // candidate position
+			if v == o {
+				return true, chain
 			}
-			cnt := int32(0)
-			for i, rw := range g.SuccRow(v) {
-				m := rw & ow[i]
-				cnt += int32(bits.OnesCount64(m))
-				for m != 0 {
-					s := i<<6 + bits.TrailingZeros64(m)
-					m &= m - 1
-					mark(int32(g.TopoPos(s)), -1)
-				}
-			}
-			if cnt != 0 {
-				mark(pv+1, cnt)
-			}
-		}
-	}
-	sum := int32(0)
-	topo := g.Topo()
-sweep:
-	for wi, w := range e.posMask.Words() {
-		for w != 0 {
-			p := int32(wi<<6 + bits.TrailingZeros64(w))
-			w &= w - 1
-			if p >= oPos {
-				break sweep
-			}
-			sum += e.diff[p]
-			v := topo[p]
-			if sum == 0 && onPath.Has(v) {
+			if runMax <= v {
 				chain = append(chain, v)
 			}
+			if p := dfg.HighestMaskedBit(g.SuccRow(v), ow); p > runMax {
+				runMax = p
+			}
 		}
-	}
-	for _, p := range e.touched {
-		e.diff[p] = 0
 	}
 	return true, chain
 }
@@ -364,7 +352,10 @@ sweep:
 // rebuildS recomputes the exact cut identified by the chosen outputs and
 // inputs: every vertex that reaches a chosen output along a path avoiding
 // the chosen inputs (theorems 2 and 3), as one word-parallel backward
-// frontier traversal.
+// frontier traversal. The search itself maintains S by journaled deltas
+// (growS/shrinkS); rebuildS is the reference semantics those deltas are
+// property-tested against, and ShrinkCut falls back to the same
+// from-scratch rebuild when an input push invalidates most of S.
 func (e *incEnum) rebuildS() {
 	e.tr.CutNodesInto(e.S, e.outs, e.Iuser)
 }
@@ -404,13 +395,13 @@ func (e *incEnum) topLevel(pos int) {
 	e.stats.OutputsTried++
 	e.outs = append(e.outs, o)
 	e.outSet.Add(o)
-	e.rebuildS()
+	e.growS(0)
 	if e.viable(e.opt.MaxInputs) {
 		e.pickInputs(1, pos, o, e.opt.MaxInputs, e.opt.MaxOutputs-1, 0, len(e.Ilist), nil)
 	}
+	e.undoGrowS(0)
 	e.outSet.Remove(o)
 	e.outs = e.outs[:len(e.outs)-1]
-	e.S.Clear()
 }
 
 // pickOutput implements PICK-OUTPUT: choose the next output o, grow S by
@@ -430,8 +421,6 @@ func (e *incEnum) pickOutput(depth, lastTopo, ninLeft, noutLeft int) {
 	if e.opt.PruneOutputOutput {
 		start = lastTopo + 1
 	}
-	saved := e.snap(depth)
-	saved.Copy(e.S)
 	for pos := start; pos < len(topo); pos++ {
 		if e.stopped {
 			return
@@ -452,13 +441,13 @@ func (e *incEnum) pickOutput(depth, lastTopo, ninLeft, noutLeft int) {
 		e.stats.OutputsTried++
 		e.outs = append(e.outs, o)
 		e.outSet.Add(o)
-		e.rebuildS()
+		e.growS(depth)
 		if e.viable(ninLeft) {
 			e.pickInputs(depth+1, pos, o, ninLeft, noutLeft-1, 0, len(e.Ilist), nil)
 		}
+		e.undoGrowS(depth)
 		e.outSet.Remove(o)
 		e.outs = e.outs[:len(e.outs)-1]
-		e.S.Copy(saved)
 	}
 }
 
@@ -543,8 +532,6 @@ func (e *incEnum) pickInputs(depth, oTopo, o, ninLeft, noutLeft, seedStart, phas
 	}
 
 	found := false
-	saved := e.snap(depth)
-	saved.Copy(e.S)
 
 	// Completion step: every reduced-graph dominator of o extends I to a
 	// multiple-vertex dominator of o.
@@ -560,12 +547,12 @@ func (e *incEnum) pickInputs(depth, oTopo, o, ninLeft, noutLeft, seedStart, phas
 		}
 		found = true
 		e.pushInput(u)
-		e.rebuildS()
+		e.shrinkS(depth, u)
 		if e.viable(ninLeft - 1) {
 			e.checkCut(depth+1, oTopo, ninLeft-1, noutLeft)
 		}
+		e.undoShrinkS(depth)
 		e.popInput(u)
-		e.S.Copy(saved)
 	}
 
 	// Seed extension step: push another on-path ancestor of o and recurse.
@@ -614,13 +601,13 @@ func (e *incEnum) pickInputs(depth, oTopo, o, ninLeft, noutLeft, seedStart, phas
 				continue
 			}
 			e.pushInput(i)
-			e.rebuildS()
+			e.shrinkS(depth, i)
 			sub := false
 			if e.viable(ninLeft - 1) {
 				sub = e.pickInputs(depth+1, oTopo, o, ninLeft-1, noutLeft, idx+1, phaseStart, back)
 			}
+			e.undoShrinkS(depth)
 			e.popInput(i)
-			e.S.Copy(saved)
 			if sub {
 				found = true
 				lastValid = i

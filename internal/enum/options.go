@@ -12,6 +12,27 @@
 // statement of §3 and deduplicate by vertex-set signature, so pruning can
 // never produce an invalid cut; the test suite checks against brute force
 // that none are lost either.
+//
+// # The incremental search-state engine
+//
+// The paper's polynomial bound comes from sharing work across the search
+// tree (§5.3), and since PR 3 the implementation shares state the same
+// way: nothing about the current search node is recomputed from scratch.
+// The cut S lives across pushes as journaled deltas — an output push grows
+// S by the memoized backward cone of the new output, clipped by a
+// traversal only where a chosen input blocks part of the cone
+// (dfg.Traverser.GrowCut), and an input push shrinks S by recomputing
+// survival only inside the new input's ancestor region, falling back to
+// the from-scratch rebuild when that region is most of S
+// (dfg.Traverser.ShrinkCut). Each push records exactly the vertices it
+// changed in a per-depth undo journal, so backtracking is one word-
+// parallel Subtract/Union. Reduced-graph dominators are read off a
+// running-max sweep over the surviving-path region (analyzePaths), which
+// exploits the identity topological order dfg.Freeze pins: bit index ≡
+// topological position, so "does any surviving edge jump over v" is a
+// highest-set-bit scan per vertex. The from-scratch recomputation
+// (rebuildS) survives as the reference that property tests pin every
+// delta against.
 package enum
 
 import "time"

@@ -1,88 +1,12 @@
 package enum
 
-// sigSet is an open-addressing hash set over the [2]uint64 digests that
-// Hash128 produces, replacing the map[[2]uint64]bool dedup on the hot path:
-// no per-insert hashing of the key (the digest already is the hash), no
-// bucket indirection, and Reset reuses the backing array so the steady
-// state allocates nothing. The zero digest is representable via a sentinel
-// flag, so no key is excluded.
-type sigSet struct {
-	slots   [][2]uint64
-	mask    uint64
-	n       int
-	hasZero bool
-}
+import "polyise/internal/bitset"
 
-const sigSetMinCap = 64 // power of two
+// sigSet is the candidate-dedup digest set of the enumeration hot path.
+// The implementation lives in bitset.DigestSet so that every dedup consumer
+// (this package's global and per-shard dedup, the parallel merge, package
+// multidom's generalized-dominator dedup) shares the same open-addressing
+// table tuned for Hash128 digests.
+type sigSet = bitset.DigestSet
 
-func newSigSet() *sigSet {
-	s := &sigSet{}
-	s.grow(sigSetMinCap)
-	return s
-}
-
-func (s *sigSet) grow(capacity int) {
-	old := s.slots
-	s.slots = make([][2]uint64, capacity)
-	s.mask = uint64(capacity - 1)
-	s.n = 0
-	for _, k := range old {
-		if k[0]|k[1] != 0 {
-			s.insertNoCheck(k)
-		}
-	}
-}
-
-func (s *sigSet) insertNoCheck(k [2]uint64) {
-	i := (k[0] ^ k[1]) & s.mask
-	for s.slots[i][0]|s.slots[i][1] != 0 {
-		i = (i + 1) & s.mask
-	}
-	s.slots[i] = k
-	s.n++
-}
-
-// Insert adds k and reports whether it was absent.
-func (s *sigSet) Insert(k [2]uint64) bool {
-	if k[0]|k[1] == 0 {
-		if s.hasZero {
-			return false
-		}
-		s.hasZero = true
-		return true
-	}
-	i := (k[0] ^ k[1]) & s.mask
-	for {
-		sl := s.slots[i]
-		if sl[0]|sl[1] == 0 {
-			break
-		}
-		if sl == k {
-			return false
-		}
-		i = (i + 1) & s.mask
-	}
-	s.slots[i] = k
-	s.n++
-	if 4*s.n >= 3*len(s.slots) {
-		s.grow(2 * len(s.slots))
-	}
-	return true
-}
-
-// Len returns the number of distinct keys inserted.
-func (s *sigSet) Len() int {
-	if s.hasZero {
-		return s.n + 1
-	}
-	return s.n
-}
-
-// Reset empties the set, keeping the backing array.
-func (s *sigSet) Reset() {
-	for i := range s.slots {
-		s.slots[i] = [2]uint64{}
-	}
-	s.n = 0
-	s.hasZero = false
-}
+func newSigSet() *sigSet { return bitset.NewDigestSet() }

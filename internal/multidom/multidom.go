@@ -17,7 +17,6 @@ package multidom
 
 import (
 	"sort"
-	"strconv"
 
 	"polyise/internal/bitset"
 	"polyise/internal/dfg"
@@ -26,26 +25,39 @@ import (
 
 // Enumerator answers generalized-dominator queries for one frozen graph.
 // Not safe for concurrent use.
+//
+// All query entry points run allocation-free in steady state: the solver
+// reuses its arena across reduced-graph runs (domtree.Solver.Reset), and
+// the traversal/check scratch below is owned by the Enumerator instead of
+// being allocated per call (the AllocsPerRun regression test pins this).
 type Enumerator struct {
 	g      *dfg.Graph
 	aug    *dfg.Aug
 	solver *domtree.Solver
 
 	// scratch
-	blocked *bitset.Set
-	visited *bitset.Set
-	queue   []int32
+	seeds    *bitset.Set // current seed set during Enumerate
+	visited  *bitset.Set // reachesAvoiding BFS marks
+	queue    []int32     // reachesAvoiding BFS worklist
+	checkSet *bitset.Set // Check's member set
+	candBits *bitset.Set // candidate set digests for dedup
+	doms     []int       // ReducedDominators result buffer
+	cand     []int       // candidate member list buffer
+	seen     *bitset.DigestSet
 }
 
 // New creates an Enumerator for g (which must be frozen).
 func New(g *dfg.Graph) *Enumerator {
 	aug := g.Augmented()
 	return &Enumerator{
-		g:       g,
-		aug:     aug,
-		solver:  domtree.ForwardSolver(g),
-		blocked: bitset.New(aug.N),
-		visited: bitset.New(aug.N),
+		g:        g,
+		aug:      aug,
+		solver:   domtree.ForwardSolver(g),
+		seeds:    bitset.New(aug.N),
+		visited:  bitset.New(aug.N),
+		checkSet: bitset.New(aug.N),
+		candBits: bitset.New(aug.N),
+		seen:     bitset.NewDigestSet(),
 	}
 }
 
@@ -99,7 +111,8 @@ func (e *Enumerator) Check(V []int, o int) bool {
 	if len(V) == 0 {
 		return false
 	}
-	vs := bitset.New(e.aug.N)
+	vs := e.checkSet
+	vs.Clear()
 	for _, w := range V {
 		if w == o || w == e.aug.Source || w == e.aug.Sink {
 			return false
@@ -141,9 +154,14 @@ func (e *Enumerator) ReducedDominators(seeds *bitset.Set, o int, out []int) ([]i
 }
 
 // Enumerate returns every generalized dominator of o with at most maxSize
-// members, each sorted ascending, in deterministic order. Candidates are
-// generated with the Dubrova seed-set method and verified with Check, so
-// redundant separator supersets are filtered out.
+// members, each sorted ascending, in deterministic order (lexicographic on
+// the sorted member lists). Candidates are generated with the Dubrova
+// seed-set method and verified with Check, so redundant separator supersets
+// are filtered out. Candidate sets are deduplicated by their Hash128 digest
+// in a reused open-addressing DigestSet — the string-keyed map this
+// replaces allocated a key per candidate and dominated the enumeration on
+// dominator-rich graphs — and a candidate is digested exactly once even
+// when the seed-set method regenerates it, whether or not it passed Check.
 func (e *Enumerator) Enumerate(o, maxSize int) [][]int {
 	if maxSize <= 0 {
 		return nil
@@ -153,29 +171,34 @@ func (e *Enumerator) Enumerate(o, maxSize int) [][]int {
 	// a cut) but never the virtual source/sink or o itself.
 	anc := e.g.ReachTo(o).Members()
 
-	seen := make(map[string][]int)
-	seeds := bitset.New(e.aug.N)
+	e.seen.Reset()
+	seeds := e.seeds
+	seeds.Clear()
+	var out [][]int
 	var cur []int
 
 	var visit func(startIdx int)
 	visit = func(startIdx int) {
-		doms, reachable := e.ReducedDominators(seeds, o, nil)
+		var reachable bool
+		// e.doms is consumed before the recursion below reuses its backing.
+		e.doms, reachable = e.ReducedDominators(seeds, o, e.doms[:0])
 		if !reachable {
 			// Seeds already separate o; no extension can give every member a
 			// private path, so this branch is done.
 			return
 		}
-		for _, u := range doms {
-			cand := make([]int, 0, len(cur)+1)
-			cand = append(cand, cur...)
-			cand = append(cand, u)
-			sort.Ints(cand)
-			key := fmtKey(cand)
-			if _, dup := seen[key]; dup {
+		for _, u := range e.doms {
+			e.candBits.Copy(seeds)
+			e.candBits.Add(u)
+			if !e.seen.Insert(e.candBits.Hash128()) {
 				continue
 			}
+			cand := append(e.cand[:0], cur...)
+			cand = append(cand, u)
+			sort.Ints(cand)
+			e.cand = cand
 			if e.Check(cand, o) {
-				seen[key] = cand
+				out = append(out, append([]int(nil), cand...))
 			}
 		}
 		if len(cur) >= maxSize-1 {
@@ -192,24 +215,16 @@ func (e *Enumerator) Enumerate(o, maxSize int) [][]int {
 	}
 	visit(0)
 
-	keys := make([]string, 0, len(seen))
-	for k := range seen {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make([][]int, 0, len(keys))
-	for _, k := range keys {
-		out = append(out, seen[k])
-	}
+	sort.Slice(out, func(i, j int) bool { return lessSets(out[i], out[j]) })
 	return out
 }
 
-// fmtKey builds a canonical map key for a sorted vertex set.
-func fmtKey(v []int) string {
-	b := make([]byte, 0, len(v)*4)
-	for _, x := range v {
-		b = strconv.AppendInt(b, int64(x), 10)
-		b = append(b, ',')
+// lessSets orders sorted vertex sets lexicographically by their members.
+func lessSets(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
 	}
-	return string(b)
+	return len(a) < len(b)
 }

@@ -280,7 +280,7 @@ func enumerateSubsets(items []int, maxSize int) [][]int {
 
 func sortSets(sets [][]int) {
 	sort.Slice(sets, func(i, j int) bool {
-		return fmtKey(sets[i]) < fmtKey(sets[j])
+		return lessSets(sets[i], sets[j])
 	})
 }
 
