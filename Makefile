@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race bench bench-json bench-json-quick bench-gate fuzz ci
+.PHONY: build vet test test-race diff-oracle diff-oracle-quick docs-check bench bench-json bench-json-quick bench-gate fuzz ci
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,32 @@ test: build vet
 	$(GO) test ./...
 
 # The concurrency suite (sharded enumeration, worker pool, ordered merge)
-# only proves state ownership under the race detector.
+# only proves state ownership under the race detector. -short trims the
+# mid-size oracle/regression instances whose deadline-budgeted runs would
+# dominate the race sweep without adding concurrency coverage (the full
+# instances run race-free in `test` and `diff-oracle`).
 test-race:
-	$(GO) test -race ./internal/parallel/ ./internal/enum/ ./internal/bench/
+	$(GO) test -race -short ./internal/parallel/ ./internal/enum/ ./internal/bench/
 	$(GO) test -race -run 'Parallel|Corpus' .
+
+# Mid-size completeness evidence: diff the polynomial enumeration against
+# the pruned-exhaustive oracle on the pinned gap instances (n=140/seed 5 →
+# 4 565 cuts, n=220/seed 17 → 7 891) and fresh random blocks up to n ≈ 240,
+# plus the bit-for-bit sequence-identity regression (including the ~1 min
+# basic-algorithm cross-check at n=220). diff-oracle-quick is the CI
+# version: oracle comparisons only, at a budget that still completes every
+# instance on the recording machine.
+diff-oracle:
+	POLYISE_ORACLE_BUDGET=10m $(GO) test ./internal/enum/ -run 'MidSizeOracle|GapRegression' -v -timeout 30m -count 1
+
+diff-oracle-quick:
+	POLYISE_ORACLE_BUDGET=90s $(GO) test ./internal/enum/ -run 'MidSizeOracle' -timeout 15m -count 1
+
+# Docs-drift gate: every backticked Go identifier and file path referenced
+# by docs/ALGORITHM.md must still exist in the tree, so the paper-to-code
+# map cannot silently rot.
+docs-check:
+	./scripts/check_docs_refs.sh docs/ALGORITHM.md
 
 # Paper-figure reproductions plus the serial-vs-parallel speedup pair
 # (BenchmarkParallelEnumerate, BenchmarkCorpusCuts).
@@ -27,11 +49,13 @@ bench:
 
 # Machine-readable perf record: runs the tier-1 enumeration benchmarks —
 # including the worker-count scaling curve at real GOMAXPROCS — and commits
-# the numbers (ns/op, allocs/op, cuts/sec, speedup_vs_serial) to
-# BENCH_PR3.json so the performance trajectory is tracked in-repo.
-# bench-json-quick skips the 220-node scaling curve.
+# the numbers (ns/op, allocs/op, cuts, cuts/sec, speedup_vs_serial) to
+# BENCH_PR4.json so the performance trajectory is tracked in-repo. The cut
+# counts in the file are part of the correctness gate, not just context:
+# bench-gate fails on any drift. bench-json-quick skips the 220-node
+# scaling curve.
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_PR3.json
+	$(GO) run ./cmd/benchjson -o BENCH_PR4.json
 
 bench-json-quick:
 	$(GO) run ./cmd/benchjson -o /tmp/bench_smoke.json -quick -iters 1
@@ -44,11 +68,11 @@ bench-json-quick:
 # re-record it there with `make bench-json` (or gate with a looser
 # -regress) instead of comparing against another machine's numbers.
 bench-gate:
-	$(GO) run ./cmd/benchjson -o /tmp/bench_gate.json -quick -iters 3 -compare BENCH_PR3.json
+	$(GO) run ./cmd/benchjson -o /tmp/bench_gate.json -quick -iters 3 -compare BENCH_PR4.json
 
 # Short fuzz run over the graphio parser; the committed seed corpus under
 # internal/graphio/testdata/ always runs as part of plain `make test`.
 fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/graphio/
 
-ci: test test-race bench-gate
+ci: test test-race docs-check diff-oracle-quick bench-gate

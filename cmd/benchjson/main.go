@@ -20,8 +20,8 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchjson -o BENCH_PR3.json [-iters 3] [-quick]
-//	go run ./cmd/benchjson -o /tmp/fresh.json -quick -compare BENCH_PR3.json
+//	go run ./cmd/benchjson -o BENCH_PR4.json [-iters 3] [-quick]
+//	go run ./cmd/benchjson -o /tmp/fresh.json -quick -compare BENCH_PR4.json
 package main
 
 import (
@@ -181,7 +181,7 @@ func gate(fresh, baseline []Result, regress float64) []string {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR3.json", "output JSON path")
+	out := flag.String("o", "BENCH_PR4.json", "output JSON path")
 	iters := flag.Int("iters", 2, "iterations per benchmark")
 	quick := flag.Bool("quick", false, "skip the 220-node scaling curve (CI smoke)")
 	compare := flag.String("compare", "", "baseline BENCH_*.json to gate against (exit 1 on regression)")

@@ -8,13 +8,14 @@ package bitset
 // state allocates nothing. The zero digest is representable via a sentinel
 // flag, so no key is excluded.
 //
-// The slot index mixes the digest with a Fibonacci multiplier and takes the
-// TOP bits of the product. Hash128 is FNV-1a-style, whose low bits are
-// weakly mixed (the final multiply only carries entropy upward), so
-// indexing by the low bits directly produces long linear-probe clusters —
-// measured at over a microsecond per insert on enumeration-sized tables.
-// The multiplicative finisher spreads the clusters out and brings probes
-// back to ~1 slot touch.
+// The slot index mixes the digest with a Fibonacci multiplier and takes
+// the TOP bits of the product. The finisher earned its keep when Hash128
+// was a raw word-FNV fold whose weakly mixed low bits clustered
+// linear probes into microsecond-long chains on enumeration-sized tables;
+// since the PR 4 digest fix Hash128 is fully avalanched (fmix64 per word
+// and per lane) and any bit range would index well — the finisher is kept
+// because it is one multiply, costs nothing, and keeps this table correct
+// even for callers feeding it digests that are not avalanche-quality.
 type DigestSet struct {
 	slots   [][2]uint64
 	shift   uint

@@ -3,8 +3,10 @@ package enum_test
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"reflect"
 	"testing"
+	"time"
 
 	"polyise/internal/baseline"
 	"polyise/internal/dfg"
@@ -117,6 +119,76 @@ func TestParallelMatchesBruteForce(t *testing.T) {
 					seed, io, len(got), len(want))
 			}
 		}
+	}
+}
+
+// oracleBudget is the per-run wall-clock budget of the mid-size oracle
+// tests. The default keeps plain `go test ./...` (and the race-detector
+// sweep, where every run is 10–20× slower but still deadline-capped) fast:
+// runs that exceed it report inconclusive and are skipped, not failed.
+// `make diff-oracle` raises it via POLYISE_ORACLE_BUDGET so every pinned
+// and fresh instance is verified to completion; `make ci` uses an
+// intermediate budget that covers all pinned instances on the CI machine.
+func oracleBudget(t *testing.T) time.Duration {
+	if s := os.Getenv("POLYISE_ORACLE_BUDGET"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			t.Fatalf("POLYISE_ORACLE_BUDGET: %v", err)
+		}
+		return d
+	}
+	return 3 * time.Second
+}
+
+// runOracle runs one budgeted poly-versus-pruned-exhaustive comparison and
+// fails the test on any disagreement, with the oracle's own triage (digest
+// collisions, basic-algorithm cross-check) in the failure message.
+func runOracle(t *testing.T, name string, g *dfg.Graph, budget time.Duration) baseline.OracleReport {
+	t.Helper()
+	opt := enum.DefaultOptions()
+	opt.Parallelism = 1
+	rep := baseline.DiffOracle(name, g, opt, budget)
+	if rep.TimedOut {
+		t.Skipf("%s: budget %v exceeded — inconclusive (raise POLYISE_ORACLE_BUDGET or use `make diff-oracle`)", name, budget)
+	}
+	if !rep.Agree() {
+		t.Fatalf("completeness violation:\n%s", rep)
+	}
+	t.Logf("%s", rep)
+	return rep
+}
+
+// TestMidSizeOracleOnPinnedGapInstances re-verifies the instances on which
+// the pre-fix dedup digest dropped valid cuts (the n ≥ 140 completeness
+// gap): the polynomial enumeration must now match the pruned-exhaustive
+// oracle exactly, at the exact pinned counts (4 565 and 7 891). This is
+// the regression anchor — these instances sat in the measured gap for two
+// engine revisions.
+func TestMidSizeOracleOnPinnedGapInstances(t *testing.T) {
+	for _, gi := range workload.GapRegressionInstances() {
+		t.Run(gi.Name, func(t *testing.T) {
+			rep := runOracle(t, gi.Name, gi.Graph(), oracleBudget(t))
+			if rep.PolyCuts != gi.WantCuts {
+				t.Fatalf("%s: %d cuts, pinned corpus expects %d", gi.Name, rep.PolyCuts, gi.WantCuts)
+			}
+		})
+	}
+}
+
+// TestMidSizeOracleFreshRandom sweeps fresh MiBench-like instances at
+// sizes straddling the bitset word boundaries (128, 192) up to the n ≈ 240
+// oracle coverage bound. Unlike the pinned test it has no expected counts;
+// agreement with the pruned-exhaustive search is the whole assertion.
+func TestMidSizeOracleFreshRandom(t *testing.T) {
+	budget := oracleBudget(t)
+	for _, c := range []struct {
+		n    int
+		seed int64
+	}{{130, 2}, {150, 3}, {190, 7}, {210, 11}, {240, 13}} {
+		name, g := workload.FreshOracleInstance(c.n, c.seed)
+		t.Run(name, func(t *testing.T) {
+			runOracle(t, name, g, budget)
+		})
 	}
 }
 

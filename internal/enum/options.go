@@ -8,10 +8,26 @@
 // POLY-ENUM-INCR of figure 3, which builds the cut S while choosing inputs
 // and outputs, interleaves Dubrova-style seed-set exploration with
 // Lengauer–Tarjan runs on reduced graphs, and applies the pruning techniques
-// of §5.3. Both validate every candidate cut directly against the problem
-// statement of §3 and deduplicate by vertex-set signature, so pruning can
-// never produce an invalid cut; the test suite checks against brute force
-// that none are lost either.
+// of §5.3. docs/ALGORITHM.md maps both figures onto this package pseudocode
+// line by line.
+//
+// # Completeness guarantees
+//
+// Both algorithms validate every candidate cut directly against the problem
+// statement of §3 and deduplicate by a 128-bit vertex-set digest, so no
+// configuration can ever produce an invalid or repeated cut. Completeness —
+// every valid cut is produced — holds under DefaultOptions and is verified
+// by measurement at two tiers: against the brute-force oracle over all
+// vertex subsets to n ≈ 16 (any Options), and against the pruned-exhaustive
+// oracle (baseline.DiffOracle, `make diff-oracle`) to n ≈ 240 on the
+// MiBench-like corpus, including the pinned regression instances of the
+// historical n ≥ 140 gap. That gap was a collision class in the dedup
+// digest, not a search deficiency — the dedup layer is as
+// completeness-critical as the search, which is why the oracle compares by
+// full signature and triages digest collisions explicitly. The two
+// approximate §5.3 prunings (PruneDominatorInput, PruneForbiddenAncestors)
+// are the only knobs that trade completeness away, are off by default, and
+// have their loss quantified in EXPERIMENTS.md.
 //
 // # The incremental search-state engine
 //
@@ -54,13 +70,22 @@ type Options struct {
 	// Parallelism selects how many workers the enumeration shards its
 	// top-level search subtrees across: 0 means auto (GOMAXPROCS), 1 runs
 	// the serial paper algorithm, and any larger value is taken literally
-	// (oversubscribing GOMAXPROCS is allowed). Parallel runs visit exactly
-	// the same cuts in exactly the same order as serial runs — the
-	// differential tests enforce this — at the cost of small, documented
-	// differences in the Duplicates/Invalid attribution of Stats (see
-	// internal/enum/parallel.go). Corpus-level drivers (internal/bench,
-	// cmd/compare) reuse the same knob to shard across basic blocks
-	// instead. Use Parallelism=1 to reproduce the paper's serial numbers.
+	// (oversubscribing GOMAXPROCS is allowed).
+	//
+	// Determinism contract: at ANY worker count the visitor receives
+	// exactly the cuts a serial run would produce, in exactly the serial
+	// order, including the same prefix when the visitor stops early —
+	// selection built on the enumeration is bit-for-bit reproducible
+	// regardless of parallelism. The differential harness and the pinned
+	// sequence digests of the gap-regression corpus enforce this. The only
+	// observable difference is Stats attribution: a candidate repeated
+	// across two subtrees is re-validated by the second shard instead of
+	// being caught by the serial run's global dedup, so mass can shift
+	// between Duplicates and Invalid (their sum, and every other counter,
+	// is preserved; see internal/enum/parallel.go). Corpus-level drivers
+	// (internal/bench, cmd/compare) reuse the same knob to shard across
+	// basic blocks instead. Use Parallelism=1 to reproduce the paper's
+	// serial numbers.
 	Parallelism int
 
 	// ConnectedOnly restricts the search to connected cuts (definition 4),

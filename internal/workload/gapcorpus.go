@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"polyise/internal/dfg"
+)
+
+// GapInstance pins one MiBench-like block on which the enumeration once
+// missed cuts, together with the exact number of valid cuts under the
+// standard Nin=4/Nout=2 constraint (DefaultOptions), as established by the
+// pruned-exhaustive oracle and, since the digest fix, by the polynomial
+// enumeration itself. The regression tests and the mid-size differential
+// oracle both anchor on these instances so the former gap can never
+// silently reopen.
+type GapInstance struct {
+	Name string
+	N    int   // vertex count passed to MiBenchLike
+	Seed int64 // rand seed passed to MiBenchLike
+	// WantCuts is the exact valid-cut count under DefaultOptions
+	// (Nin=4, Nout=2), verified against the pruned-exhaustive oracle.
+	WantCuts int
+}
+
+// Graph regenerates the pinned block. Generation is deterministic in
+// (N, Seed), so the instance is stable across machines and revisions as
+// long as the generator itself is unchanged (workload tests pin that).
+func (gi GapInstance) Graph() *dfg.Graph {
+	return MiBenchLike(rand.New(rand.NewSource(gi.Seed)), gi.N, DefaultProfile())
+}
+
+// GapRegressionInstances returns the blocks on which the pre-PR 4 dedup
+// digest (word-FNV Hash128) collided and dropped valid cuts: before the
+// fix the enumeration reported 4 468 and 7 669 cuts on these (the latter
+// engine-revision dependent — PR 2 measured 7 668, because the collision
+// victim is whichever cut of a colliding pair is visited second), versus
+// the oracle's 4 565 and 7 891.
+// Any graph of ≥ 128 vertices was exposed; these two are the measured
+// repro cases from EXPERIMENTS.md.
+func GapRegressionInstances() []GapInstance {
+	return []GapInstance{
+		{Name: "mibench-n140-seed5", N: 140, Seed: 5, WantCuts: 4565},
+		{Name: "mibench-n220-seed17", N: 220, Seed: 17, WantCuts: 7891},
+	}
+}
+
+// FreshOracleInstance names a generated mid-size block for the fresh
+// random sweep of the differential oracle (sizes chosen to straddle the
+// bitset word boundaries at 128 and 192 vertices, up to the n ≈ 240
+// oracle coverage bound).
+func FreshOracleInstance(n int, seed int64) (string, *dfg.Graph) {
+	return fmt.Sprintf("mibench-n%d-seed%d", n, seed),
+		MiBenchLike(rand.New(rand.NewSource(seed)), n, DefaultProfile())
+}

@@ -1,0 +1,71 @@
+#!/bin/sh
+# check_docs_refs.sh DOC.md [...]: the docs-drift gate behind `make
+# docs-check`. Every backticked reference in the given markdown files is
+# checked against the tree so a paper-to-code map cannot silently rot when
+# code moves:
+#
+#   - tokens containing a '/' are treated as repo paths and must exist
+#     (file or directory);
+#   - tokens shaped like Go identifiers or dotted selectors (Enumerate,
+#     dfg.Traverser.GrowCut, Options.MaxInputs) must appear as a word in
+#     some .go file — the *last* dotted component is what is grepped, so
+#     renaming a method breaks the gate even if its receiver type stays.
+#
+# Multi-word spans (command lines, prose) and tokens with operators or
+# other non-identifier characters (complexity formulas) are deliberately
+# ignored, as whole spans. Exits non-zero listing every stale reference.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# checkdoc prints one line per stale reference in $1.
+checkdoc() {
+    doc=$1
+    # Pull every `...` span onto its own line. Spans are single-line by
+    # convention in our docs; multi-line code fences are not references.
+    # Read line-wise so spans keep their spaces and multi-word spans are
+    # skipped as a unit.
+    grep -o '`[^`]*`' "$doc" | sed 's/^`//; s/`$//' | sort -u |
+        while IFS= read -r tok; do
+            case "$tok" in
+            '' | *' '*) continue ;; # multi-word span: command line or prose
+            esac
+            if printf '%s' "$tok" | grep -q '/'; then
+                # Path-shaped: must exist in the tree.
+                case "$tok" in
+                *[!A-Za-z0-9_./-]*) continue ;; # flags, globs, URLs: skip
+                esac
+                [ -e "$tok" ] || echo "$doc: stale path reference \`$tok\`"
+                continue
+            fi
+            # Identifier-shaped (possibly dotted, possibly trailing "()")?
+            ident=$(printf '%s' "$tok" | sed 's/()$//')
+            case "$ident" in
+            '' | [0-9]* | *[!A-Za-z0-9_.]*) continue ;; # formulas etc.: skip
+            esac
+            leaf=${ident##*.}
+            case "$leaf" in
+            '' | [0-9]*) continue ;;
+            esac
+            grep -rqw --include='*.go' "$leaf" . ||
+                echo "$doc: stale identifier reference \`$tok\` (no \`$leaf\` in any .go file)"
+        done
+}
+
+fail=0
+for doc in "$@"; do
+    if [ ! -f "$doc" ]; then
+        echo "docs-check: $doc: no such file" >&2
+        fail=1
+        continue
+    fi
+    stale=$(checkdoc "$doc")
+    if [ -n "$stale" ]; then
+        printf '%s\n' "$stale" | sed 's/^/docs-check: /' >&2
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    echo "docs-check: failed — update the doc or restore the identifier" >&2
+fi
+exit "$fail"
