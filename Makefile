@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race diff-oracle diff-oracle-quick docs-check bench bench-json bench-json-quick bench-gate fuzz ci
+.PHONY: build vet test test-race diff-oracle diff-oracle-quick docs-check bench bench-json bench-json-quick bench-gate profile fuzz ci
 
 build:
 	$(GO) build ./...
@@ -50,25 +50,36 @@ bench:
 # Machine-readable perf record: runs the tier-1 enumeration benchmarks —
 # including the worker-count scaling curve at real GOMAXPROCS — and commits
 # the numbers (ns/op, allocs/op, cuts, cuts/sec, speedup_vs_serial) to
-# BENCH_PR4.json so the performance trajectory is tracked in-repo. The cut
+# BENCH_PR5.json so the performance trajectory is tracked in-repo. The cut
 # counts in the file are part of the correctness gate, not just context:
 # bench-gate fails on any drift. bench-json-quick skips the 220-node
 # scaling curve.
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_PR4.json
+	$(GO) run ./cmd/benchjson -o BENCH_PR5.json
 
 bench-json-quick:
 	$(GO) run ./cmd/benchjson -o /tmp/bench_smoke.json -quick -iters 1
 
 # Regression gate: re-measure the quick tier-1 benchmarks and fail when
-# cuts/sec drops more than 15% below the committed baseline (or when cut
-# counts drift at all — that is a correctness bug, not noise). CI runs this
-# so a perf regression breaks the build the same way a test failure does.
-# The baseline is machine-specific: after moving CI to different hardware,
-# re-record it there with `make bench-json` (or gate with a looser
-# -regress) instead of comparing against another machine's numbers.
+# cuts/sec drops more than 15% below the committed baseline, when allocs/op
+# grows past the committed value by more than the -allocslack headroom (the
+# steady-state enumeration is allocation-free, so alloc growth means a
+# scratch-reuse leak), or when cut counts drift at all — that is a
+# correctness bug, not noise. CI runs this so a perf regression breaks the
+# build the same way a test failure does. The baseline is machine-specific:
+# after moving CI to different hardware, re-record it there with `make
+# bench-json` (or gate with a looser -regress) instead of comparing against
+# another machine's numbers.
 bench-gate:
-	$(GO) run ./cmd/benchjson -o /tmp/bench_gate.json -quick -iters 3 -compare BENCH_PR4.json
+	$(GO) run ./cmd/benchjson -o /tmp/bench_gate.json -quick -iters 3 -compare BENCH_PR5.json
+
+# Profiling harness: run the tier-1 workloads — including the 220-node
+# instance that dominates the serial profile — under pprof and drop
+# cpu.prof/mem.prof in the working tree (do not commit them). Read with
+# `go tool pprof -top cpu.prof`; EXPERIMENTS.md ("How to read a polyise
+# profile") explains what the hot symbols mean.
+profile:
+	$(GO) run ./cmd/benchjson -o /tmp/bench_profile.json -iters 1 -cpuprofile cpu.prof -memprofile mem.prof
 
 # Short fuzz run over the graphio parser; the committed seed corpus under
 # internal/graphio/testdata/ always runs as part of plain `make test`.

@@ -15,13 +15,22 @@
 // With -compare the command doubles as the CI regression gate: after
 // measuring, each benchmark is checked against the same-named entry of the
 // committed baseline file, and the process exits non-zero when cuts/sec
-// regressed by more than -regress (default 15%) or when the cut count
-// drifted at all (a correctness failure, not a performance one).
+// regressed by more than -regress (default 15%), when allocs/op grew past
+// the -allocslack headroom (the steady-state enumeration is allocation-
+// free, so alloc growth is a leak in the scratch-reuse discipline, not
+// noise), or when the cut count drifted at all (a correctness failure, not
+// a performance one).
+//
+// With -cpuprofile / -memprofile the command doubles as the profiling
+// harness: the same tier-1 workloads run under pprof, so the committed
+// numbers and the profiles always describe the same code paths (`make
+// profile`; EXPERIMENTS.md explains how to read one).
 //
 // Usage:
 //
-//	go run ./cmd/benchjson -o BENCH_PR4.json [-iters 3] [-quick]
-//	go run ./cmd/benchjson -o /tmp/fresh.json -quick -compare BENCH_PR4.json
+//	go run ./cmd/benchjson -o BENCH_PR5.json [-iters 3] [-quick]
+//	go run ./cmd/benchjson -o /tmp/fresh.json -quick -compare BENCH_PR5.json
+//	go run ./cmd/benchjson -o /tmp/prof.json -cpuprofile cpu.prof -memprofile mem.prof
 package main
 
 import (
@@ -31,6 +40,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -148,7 +158,7 @@ func scalingName(workers int) string {
 // gate compares fresh results against the committed baseline and returns
 // the regression messages (empty = pass). Benchmarks absent from either
 // side are skipped: the gate protects the tier-1 set both files measured.
-func gate(fresh, baseline []Result, regress float64) []string {
+func gate(fresh, baseline []Result, regress float64, allocSlack int64) []string {
 	base := make(map[string]Result, len(baseline))
 	for _, b := range baseline {
 		base[b.Name] = b
@@ -167,6 +177,20 @@ func gate(fresh, baseline []Result, regress float64) []string {
 					f.Name, f.Cuts, b.Cuts))
 			continue
 		}
+		// Allocation regression: the steady-state enumeration is allocation-
+		// free, so allocs/op is a flat per-run constant (setup plus one-time
+		// scratch growth), and exceeding the baseline beyond a small absolute
+		// headroom means a leak in the scratch-reuse discipline rather than
+		// noise. The headroom absorbs runtime-internal variance (GC
+		// bookkeeping, goroutine stacks in the sharded entries); a real
+		// per-candidate leak scales with the search tree and blows straight
+		// past it.
+		if f.AllocsPerOp > b.AllocsPerOp+allocSlack {
+			failures = append(failures,
+				fmt.Sprintf("%s: %d allocs/op exceeds baseline %d by more than %d (alloc regression)",
+					f.Name, f.AllocsPerOp, b.AllocsPerOp, allocSlack))
+			continue
+		}
 		if b.CutsPerSec <= 0 {
 			continue
 		}
@@ -180,13 +204,53 @@ func gate(fresh, baseline []Result, regress float64) []string {
 	return failures
 }
 
-func main() {
-	out := flag.String("o", "BENCH_PR4.json", "output JSON path")
+func main() { os.Exit(run()) }
+
+// run carries the whole command so the pprof defers fire before the
+// process exits (os.Exit in main would skip them on a gate failure).
+func run() int {
+	out := flag.String("o", "BENCH_PR5.json", "output JSON path")
 	iters := flag.Int("iters", 2, "iterations per benchmark")
 	quick := flag.Bool("quick", false, "skip the 220-node scaling curve (CI smoke)")
 	compare := flag.String("compare", "", "baseline BENCH_*.json to gate against (exit 1 on regression)")
 	regress := flag.Float64("regress", 0.15, "allowed cuts/sec regression fraction for -compare")
+	allocSlack := flag.Int64("allocslack", 128, "allowed absolute allocs/op growth over baseline for -compare")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile (after the runs) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote CPU profile to %s\n", *cpuprofile)
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush the final allocation state
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "wrote allocation profile to %s\n", *memprofile)
+		}()
+	}
 
 	opts := func(par int) polyise.Options {
 		o := polyise.DefaultOptions()
@@ -239,12 +303,12 @@ func main() {
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return 1
 	}
 	data = append(data, '\n')
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 
@@ -252,21 +316,22 @@ func main() {
 		raw, err := os.ReadFile(*compare)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
-			os.Exit(1)
+			return 1
 		}
 		var baseline Report
 		if err := json.Unmarshal(raw, &baseline); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
-			os.Exit(1)
+			return 1
 		}
-		failures := gate(rep.Benchmarks, baseline.Benchmarks, *regress)
+		failures := gate(rep.Benchmarks, baseline.Benchmarks, *regress, *allocSlack)
 		if len(failures) > 0 {
 			for _, f := range failures {
 				fmt.Fprintln(os.Stderr, "bench-gate FAIL:", f)
 			}
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "bench-gate: %d benchmarks within %.0f%% of %s\n",
 			len(rep.Benchmarks), 100**regress, *compare)
 	}
+	return 0
 }

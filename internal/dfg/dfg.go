@@ -69,6 +69,13 @@ type Graph struct {
 	predBits []uint64
 	succBits []uint64
 
+	// maxSucc[v] is v's highest successor id (-1 for sinks). With the
+	// identity topological order it bounds the highest position any
+	// masked-row scan of v's successors can return, so the running-max
+	// dominator sweeps in package enum skip the scan entirely whenever
+	// maxSucc[v] cannot beat the running maximum.
+	maxSucc []int32
+
 	augOnce sync.Once
 	aug     *Aug
 }
@@ -300,14 +307,19 @@ func (g *Graph) Freeze() error {
 	g.stride = (n + 63) / 64
 	g.predBits = make([]uint64, n*g.stride)
 	g.succBits = make([]uint64, n*g.stride)
+	g.maxSucc = make([]int32, n)
 	for v := 0; v < n; v++ {
 		prow := g.predBits[v*g.stride : (v+1)*g.stride]
 		for _, p := range g.preds[v] {
 			prow[p/64] |= 1 << uint(p%64)
 		}
 		srow := g.succBits[v*g.stride : (v+1)*g.stride]
+		g.maxSucc[v] = -1
 		for _, s := range g.succs[v] {
 			srow[s/64] |= 1 << uint(s%64)
+			if int32(s) > g.maxSucc[v] {
+				g.maxSucc[v] = int32(s)
+			}
 		}
 	}
 
@@ -388,6 +400,12 @@ func (g *Graph) PredRow(v int) []uint64 {
 func (g *Graph) SuccRow(v int) []uint64 {
 	return g.succBits[v*g.stride : (v+1)*g.stride]
 }
+
+// MaxSucc returns v's highest successor id, or -1 when v has no successors.
+// Under the identity topological order this is also the highest position a
+// successor of v can occupy, which lets region sweeps skip masked row scans
+// that cannot change their running maximum. Available after Freeze.
+func (g *Graph) MaxSucc(v int) int { return int(g.maxSucc[v]) }
 
 // PredsIntersect reports whether any predecessor of v belongs to s, in one
 // word-parallel pass over v's adjacency row.

@@ -30,15 +30,20 @@ func (c Cut) Clone() Cut {
 	return Cut{Nodes: c.Nodes.Clone(), Inputs: in, Outputs: out}
 }
 
-// Validator checks candidate vertex sets against the §3 problem statement.
-// It owns scratch storage (including a word-parallel dfg.Traverser), so it
-// is cheap — and in steady state allocation-free — to call repeatedly, but
+// Validator checks candidate vertex sets against the §3 problem statement,
+// deriving everything from S alone in O(|S|) adjacency-row sweeps. It owns
+// scratch storage (including a word-parallel dfg.Traverser), so it is
+// cheap — and in steady state allocation-free — to call repeatedly, but
 // not safe for concurrent use.
 //
-// All predicates run on the word-parallel traversal engine; the scalar
-// implementations on dfg.Graph (IsConvex, TechnicalConditionHolds,
-// IsConnectedCut) are the reference semantics, and the property tests keep
-// the two in agreement on randomized graphs.
+// Since the incremental validation engine landed (deltaval.go), Validator
+// is the property-tested reference semantics rather than the incremental
+// enumeration's hot path — the same demotion rebuildS underwent in PR 3.
+// EnumerateBasic and the baseline searches still use it directly (their
+// candidates are not maintained incrementally), DeltaValidator is pinned
+// to it on randomized push/undo sequences, and the scalar implementations
+// on dfg.Graph (IsConvex, TechnicalConditionHolds, IsConnectedCut) remain
+// the reference below it in turn.
 type Validator struct {
 	g   *dfg.Graph
 	opt Options

@@ -1,0 +1,224 @@
+package enum
+
+// Property tests for the incremental validation engine: driving a real
+// enumeration worker's push/undo methods through randomized sequences must
+// keep the DeltaValidator's maintained aggregates bit-identical to a
+// from-scratch recomputation, and its Validate verdict (plus the derived
+// inputs/outputs) identical to the reference Validator, at every step —
+// including with the delta-apply fallback forced both ways. This is the
+// validation-layer counterpart of TestEngineDeltaSMatchesRebuildS.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"polyise/internal/bitset"
+)
+
+// aggMatchesRebuild checks the three maintained aggregates against a
+// from-scratch recomputation over the current S.
+func (d *DeltaValidator) aggMatchesRebuild(t *testing.T, tag string) bool {
+	d.sync()
+	g := d.g
+	n := g.N()
+	predU, succU, outs := bitset.New(n), bitset.New(n), bitset.New(n)
+	d.S.ForEach(func(v int) bool {
+		predU.UnionWords(g.PredRow(v))
+		succU.UnionWords(g.SuccRow(v))
+		return true
+	})
+	g.OutputsInto(outs, d.S)
+	if !d.predU.Equal(predU) {
+		t.Logf("%s: predU = %v, want %v (S=%v)", tag, d.predU, predU, d.S)
+		return false
+	}
+	if !d.succU.Equal(succU) {
+		t.Logf("%s: succU = %v, want %v (S=%v)", tag, d.succU, succU, d.S)
+		return false
+	}
+	if !d.outs.Equal(outs) {
+		t.Logf("%s: outs = %v, want %v (S=%v)", tag, d.outs, outs, d.S)
+		return false
+	}
+	return true
+}
+
+func runDeltaValidatorSequence(t *testing.T, seed int64, opt Options) bool {
+	r := rand.New(rand.NewSource(seed))
+	g := randValGraph(r, 8+r.Intn(100))
+	opt.MaxInputs = 1 + r.Intn(5)
+	opt.MaxOutputs = 1 + r.Intn(3)
+	sh := newEnumShared(g, opt)
+	e := sh.newWorker(func(Cut) bool { return true }, nil)
+	ref := NewValidator(g, opt)
+	var stack []engineOp
+	depth := 0
+
+	check := func(step int) bool {
+		if !e.dval.aggMatchesRebuild(t, "agg") {
+			t.Logf("seed=%d step=%d outs=%v I=%v", seed, step, e.outs, e.Ilist)
+			return false
+		}
+		if e.S.Empty() {
+			return true
+		}
+		var got, want Cut
+		gotOK := e.dval.Validate(&got)
+		wantOK := ref.Validate(e.S, &want)
+		if gotOK != wantOK {
+			t.Logf("seed=%d step=%d: Validate %v, reference %v (S=%v outs=%v I=%v)",
+				seed, step, gotOK, wantOK, e.S, e.outs, e.Ilist)
+			return false
+		}
+		if gotOK {
+			if !reflect.DeepEqual(got.Inputs, want.Inputs) ||
+				!reflect.DeepEqual(got.Outputs, want.Outputs) {
+				t.Logf("seed=%d step=%d: io mismatch %v vs %v", seed, step, got, want)
+				return false
+			}
+		}
+		return true
+	}
+
+	for step := 0; step < 50; step++ {
+		switch {
+		case r.Intn(3) == 0 && len(stack) > 0: // undo the top push
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if top.isOutput {
+				e.undoGrowS(top.depth)
+				e.outSet.Remove(top.v)
+				e.outs = e.outs[:len(e.outs)-1]
+			} else {
+				e.undoShrinkS(top.depth)
+				e.popInput(top.v)
+			}
+			depth--
+		case r.Intn(2) == 0 || e.S.Empty(): // push an output
+			o := r.Intn(g.N())
+			if e.S.Has(o) || e.Iuser.Has(o) || e.outSet.Has(o) {
+				continue
+			}
+			e.outs = append(e.outs, o)
+			e.outSet.Add(o)
+			e.growS(depth)
+			stack = append(stack, engineOp{isOutput: true, v: o, depth: depth})
+			depth++
+		default: // push an input from inside S
+			w := -1
+			for probe := 0; probe < 8; probe++ {
+				c := r.Intn(g.N())
+				if e.S.Has(c) && !e.outSet.Has(c) {
+					w = c
+					break
+				}
+			}
+			if w < 0 {
+				continue
+			}
+			e.pushInput(w)
+			e.shrinkS(depth, w)
+			stack = append(stack, engineOp{isOutput: false, v: w, depth: depth})
+			depth++
+		}
+		// Only check at random steps: skipping some leaves several pushes
+		// pending, exercising the lazy multi-entry apply.
+		if r.Intn(2) == 0 && !check(step) {
+			return false
+		}
+	}
+	for len(stack) > 0 {
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if top.isOutput {
+			e.undoGrowS(top.depth)
+			e.outSet.Remove(top.v)
+			e.outs = e.outs[:len(e.outs)-1]
+		} else {
+			e.undoShrinkS(top.depth)
+			e.popInput(top.v)
+		}
+		if !check(-1) {
+			return false
+		}
+	}
+	return e.S.Empty() && e.dval.aggMatchesRebuild(t, "final")
+}
+
+func TestDeltaValidatorMatchesValidator(t *testing.T) {
+	opt := DefaultOptions()
+	opt.KeepCuts = false
+	f := func(seed int64) bool { return runDeltaValidatorSequence(t, seed, opt) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaValidatorMatchesValidatorConnected(t *testing.T) {
+	opt := DefaultOptions()
+	opt.KeepCuts = false
+	opt.ConnectedOnly = true
+	opt.MaxDepth = 3
+	f := func(seed int64) bool { return runDeltaValidatorSequence(t, seed, opt) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeltaValidatorZeroAlloc pins the allocation contract of the
+// incremental admission path: with KeepCuts off, a warmed engine must not
+// allocate across push → sync → Validate → pop cycles (the whole-loop
+// counterpart is TestEnumerateSteadyStateAllocs).
+func TestDeltaValidatorZeroAlloc(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	g := randValGraph(r, 120)
+	opt := DefaultOptions()
+	opt.KeepCuts = false
+	opt.ConnectedOnly = true // exercise every predicate
+	sh := newEnumShared(g, opt)
+	e := sh.newWorker(func(Cut) bool { return true }, nil)
+	var cut Cut
+	cycle := func() {
+		for _, o := range []int{g.N() - 1, g.N() - 2, g.N() - 3} {
+			if e.S.Has(o) || e.outSet.Has(o) {
+				continue
+			}
+			e.outs = append(e.outs, o)
+			e.outSet.Add(o)
+			e.growS(0)
+			e.dval.NumOutputs()
+			e.dval.Validate(&cut)
+			e.undoGrowS(0)
+			e.outSet.Remove(o)
+			e.outs = e.outs[:len(e.outs)-1]
+		}
+	}
+	cycle() // warm every scratch buffer
+	if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+		t.Fatalf("delta validation path allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestDeltaValidatorForcedFallback pins both apply paths to each other: the
+// sequences must agree with the reference with the delta-apply fallback
+// forced always-on (every apply rebuilds from S) and always-off (every
+// apply takes the incremental path), mirroring the PR 3 delta-S tests.
+func TestDeltaValidatorForcedFallback(t *testing.T) {
+	saveNum, saveDen := valFallbackNum, valFallbackDen
+	defer func() { valFallbackNum, valFallbackDen = saveNum, saveDen }()
+	opt := DefaultOptions()
+	opt.KeepCuts = false
+
+	valFallbackNum, valFallbackDen = 0, 1 // every delta oversized: always rebuild
+	f := func(seed int64) bool { return runDeltaValidatorSequence(t, seed, opt) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal("forced fallback:", err)
+	}
+
+	valFallbackNum, valFallbackDen = 1, 0 // never oversized: always incremental
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal("forced incremental:", err)
+	}
+}

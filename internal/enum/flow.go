@@ -94,11 +94,54 @@ func (e *incEnum) mandatoryInto(dst *bitset.Set, v, o int, back *bitset.Set) {
 			if x != v && runMax <= x {
 				dst.Add(x)
 			}
-			if p := dfg.HighestMaskedBit(g.SuccRow(x), fw); p > runMax {
-				runMax = p
+			if g.MaxSucc(x) > runMax {
+				if p := dfg.HighestMaskedBit(g.SuccRow(x), fw); p > runMax {
+					runMax = p
+				}
 			}
 		}
 	}
+}
+
+// flowBoundCanExceed reports whether completionFlowBound could possibly
+// exceed flowCap, using two structural caps on the max-flow that cost one
+// word-parallel pass each instead of building the residual graph. Every
+// unit of flow passes the unit-capacity split edge of a distinct on-path
+// entry (all augmenting paths start source→entry) and of a distinct
+// on-path predecessor of o (they end pred→o), so the flow is bounded by
+// either population count — unless a counted vertex is mandatory
+// (infinite capacity), which voids that cap. When a valid cap already
+// fits flowCap the expensive bound cannot fire and the caller skips it;
+// the outcome, and therefore the search and its statistics, are identical
+// either way.
+func (e *incEnum) flowBoundCanExceed(o int, onPath *bitset.Set, flowCap int) bool {
+	g := e.g
+	fs := e.flow()
+	ow := onPath.Words()
+	uw := fs.uncut.Words()
+
+	cnt, capped := 0, true
+	for i, r := range g.PredRow(o) {
+		m := r & ow[i]
+		if m&uw[i] != 0 {
+			capped = false
+			break
+		}
+		cnt += bits.OnesCount64(m)
+	}
+	if capped && cnt <= flowCap {
+		return false
+	}
+	cnt, capped = 0, true
+	for i, r := range g.EntrySet().Words() {
+		m := r & ow[i]
+		if m&uw[i] != 0 {
+			capped = false
+			break
+		}
+		cnt += bits.OnesCount64(m)
+	}
+	return !capped || cnt > flowCap
 }
 
 // completionFlowBound returns the minimum number of additional inputs any
@@ -132,6 +175,8 @@ func (e *incEnum) completionFlowBound(o int, onPath *bitset.Set, flowCap int) in
 		fs.adjNext = append(fs.adjNext, fs.adjHead[b])
 		fs.adjHead[b] = int32(len(fs.adjTo) - 1)
 	}
+	ow := onPath.Words()
+	ew := g.EntrySet().Words()
 	onPath.ForEach(func(v int) bool {
 		vin, vout := int32(2*v), int32(2*v+1)
 		cap := int32(1)
@@ -140,13 +185,18 @@ func (e *incEnum) completionFlowBound(o int, onPath *bitset.Set, flowCap int) in
 		}
 		if v != o {
 			addEdge(vin, vout, cap)
-			for _, s := range g.Succs(v) {
-				if onPath.Has(s) {
+			// On-path successors via one masked pass over v's adjacency
+			// row instead of a membership test per successor edge.
+			for wi, r := range g.SuccRow(v) {
+				m := r & ow[wi]
+				for m != 0 {
+					s := wi<<6 + bits.TrailingZeros64(m)
+					m &= m - 1
 					addEdge(vout, int32(2*s), infCap)
 				}
 			}
 		}
-		if g.IsRoot(v) || g.IsUserForbidden(v) {
+		if ew[v>>6]&(1<<uint(v&63)) != 0 { // root or user-forbidden: source-fed
 			addEdge(src, vin, infCap)
 		}
 		return true

@@ -65,7 +65,6 @@ type enumShared struct {
 	opt     Options
 	pdt     *domtree.Tree
 	entries []int         // roots ∪ user-forbidden: virtual-source successors
-	byDepth []int         // vertices in reverse topological order
 	permOut *bitset.Set   // vertices that can never stop being outputs once in S
 	badIn   []*bitset.Set // per-output forbidden-ancestor exclusions (PruneForbiddenAncestors)
 }
@@ -79,15 +78,6 @@ func newEnumShared(g *dfg.Graph, opt Options) *enumShared {
 	// Entry points of the augmented graph: the virtual source precedes
 	// every root and every forbidden vertex (§3). Precomputed by Freeze.
 	sh.entries = g.Entries()
-
-	// Seed candidates are iterated deepest-first (reverse topological
-	// order), matching the paper's intent that the most immediate dominator
-	// seeds are met before their ancestors.
-	sh.byDepth = make([]int, g.N())
-	copy(sh.byDepth, g.Topo())
-	for i, j := 0, len(sh.byDepth)-1; i < j; i, j = i+1, j-1 {
-		sh.byDepth[i], sh.byDepth[j] = sh.byDepth[j], sh.byDepth[i]
-	}
 
 	// Permanent outputs: members of Oext always feed the virtual sink, and
 	// a vertex with a forbidden successor can never have that successor
@@ -144,23 +134,22 @@ func permanentOutput(g *dfg.Graph, v int) bool {
 // early visitor stop).
 func (sh *enumShared) newWorker(visit func(Cut) bool, ext *atomic.Bool) *incEnum {
 	n := sh.g.N()
+	S := bitset.New(n)
 	return &incEnum{
 		g:       sh.g,
 		opt:     sh.opt,
 		visit:   visit,
 		pdt:     sh.pdt,
 		entries: sh.entries,
-		byDepth: sh.byDepth,
 		permOut: sh.permOut,
 		badIn:   sh.badIn,
 		ext:     ext,
-		val:     NewValidator(sh.g, sh.opt),
+		dval:    NewDeltaValidator(sh.g, sh.opt, S),
 		tr:      sh.g.NewTraverser(),
 		seen:    newSigSet(),
-		S:       bitset.New(n),
+		S:       S,
 		Iuser:   bitset.New(n),
 		outSet:  bitset.New(n),
-		outTest: bitset.New(n),
 	}
 }
 
@@ -169,8 +158,8 @@ type incEnum struct {
 	opt   Options
 	visit func(Cut) bool
 	pdt   *domtree.Tree
-	val   *Validator
-	tr    *dfg.Traverser // word-parallel traversal kernels, worker-owned
+	dval  *DeltaValidator // incremental validation engine, worker-owned
+	tr    *dfg.Traverser  // word-parallel traversal kernels, worker-owned
 	stats Stats
 	seen  *sigSet
 	ext   *atomic.Bool // external stop flag; nil in serial runs
@@ -181,7 +170,6 @@ type incEnum struct {
 	outs   []int
 	outSet *bitset.Set
 
-	byDepth []int         // vertices in reverse topological order
 	entries []int         // roots ∪ user-forbidden: virtual-source successors
 	permOut *bitset.Set   // shared: vertices that are outputs forever once in S
 	badIn   []*bitset.Set // shared: per-output forbidden-ancestor exclusions
@@ -189,8 +177,8 @@ type incEnum struct {
 	journal      []*bitset.Set // per-depth undo journal: the delta each push applied to S
 	paths        []*bitset.Set // per-depth on-path sets
 	backs        []*bitset.Set // per-depth reaches-o sets
+	uncs         []*bitset.Set // per-depth input-ancestor sets for the quick-offending reject
 	chains       [][]int       // per-depth dominator-chain buffers
-	outTest      *bitset.Set
 	seed1        [1]int // scratch: single-seed kernel calls
 	fs           *flowScratch
 	stopped      bool
@@ -211,7 +199,10 @@ func (e *incEnum) journalBuf(d int) *bitset.Set {
 
 // growS pushes the most recently chosen output onto the maintained cut:
 // S gains {o} ∪ B(I, o) via the delta kernel, with the added vertices
-// journaled at depth d. Undo with undoGrowS(d).
+// journaled at depth d. The incremental validation engine needs no
+// notification — it mirrors S lazily at the next admission check (see
+// deltaval.go), so pushes on branches that never reach CHECK-CUT cost it
+// nothing. Undo with undoGrowS(d).
 func (e *incEnum) growS(d int) {
 	o := e.outs[len(e.outs)-1]
 	e.tr.GrowCut(e.S, e.journalBuf(d), o, e.Iuser)
@@ -234,6 +225,16 @@ func (e *incEnum) shrinkS(d, w int) {
 // undoShrinkS pops the input push journaled at depth d.
 func (e *incEnum) undoShrinkS(d int) {
 	e.S.Union(e.journal[d])
+}
+
+// uncBuf returns the quick-offending scratch buffer for recursion depth d
+// (depth-indexed because deeper pickOutput levels run while an outer
+// level's loop still needs its own set).
+func (e *incEnum) uncBuf(d int) *bitset.Set {
+	for len(e.uncs) <= d {
+		e.uncs = append(e.uncs, bitset.New(e.g.N()))
+	}
+	return e.uncs[d]
 }
 
 // pathBuf returns the on-path buffer for recursion depth d.
@@ -269,84 +270,87 @@ func (e *incEnum) chainBuf(d int) []int {
 // chain every vertex that dominates o in the reduced graph, and reports
 // whether o is reachable at all.
 //
-// pBack is the back set of the parent recursion level (nil at the top):
-// blocking one more input only ever shrinks it, so the backward traversal
-// can be confined to it, and the forward traversal is confined to the
-// freshly computed back in turn. This makes deep seed exploration cost
-// proportional to the surviving path region rather than to the whole
-// ancestor cone.
+// pBack is the back set of the parent recursion level (nil at the start of
+// an output's phase). When present, the only change since the parent's
+// analysis is the single seed lastIn joining I, so back is *derived* from
+// the parent by the delta kernel (dfg.Traverser.ShrinkReachInto): it
+// shrinks by lastIn's severed ancestor region, confined to the region the
+// push actually changes, with the full confined traversal as fallback
+// past the threshold. At a phase start back is traversed fresh.
 //
-// Dominators are found without running Lengauer–Tarjan: restricted to the
-// vertices on surviving paths, a vertex dominates o exactly when no
-// surviving edge "jumps over" its topological position (every path must
-// cross every topological rank between source and o, and can do so
-// silently only through an edge). Because Freeze pins the topological
-// order to the identity permutation, bit index ≡ position, and the test
-// collapses to a running maximum: walking the on-path vertices in
-// ascending order, v dominates o iff no earlier on-path vertex (or on-path
-// entry of the virtual source) has an on-path successor past v — and each
-// vertex's highest on-path successor is one highest-set-bit scan of its
-// masked adjacency row. This replaced the PR 2 difference-array sweep,
-// whose per-edge marking dominated the whole enumeration profile.
+// onPath, the dominator chain and the reachability verdict all come out of
+// ONE ascending pass over back, with no forward closure at all. Three facts
+// make the fusion exact. First, ascending id order is ascending topological
+// order (Freeze pins the identity permutation), so every predecessor is
+// settled before its successors: v lies on a surviving source path exactly
+// when it is an entry of back or some predecessor of v is already on-path
+// (any prefix of a source→v path inside back stays inside back — each
+// prefix vertex reaches v and hence o avoiding I). Second, the entries of
+// back are on-path unconditionally (an entry in back is not an input and
+// carries a virtual-source edge), so the sweep's starting maximum — the
+// highest virtual-source successor — is known before the walk. Third, for
+// an on-path vertex every successor inside back is itself on-path (extend
+// the source path by the edge), so masking a successor row by back equals
+// masking it by the finished onPath, and the running maximum never reads a
+// bit the walk has not justified.
 //
-// Both traversals run on the word-parallel engine. When needChain is false
-// (no input budget left) the caller only consumes the reachability answer
-// and the back/onPath sets, so the sweep is skipped entirely.
-func (e *incEnum) analyzePaths(o int, back, onPath, pBack *bitset.Set, chain []int, needChain bool) (bool, []int) {
+// Dominators then fall out as in PR 3: restricted to surviving paths, v
+// dominates o exactly when no surviving edge "jumps over" its topological
+// position, i.e. when the running maximum of highest on-path successors is
+// at most v when the walk reaches it. The Freeze-memoized MaxSucc bound
+// skips the masked row scan whenever even v's highest successor overall
+// cannot beat the running maximum — the common case once it nears o.
+//
+// When needChain is false (no input budget left) the caller consumes only
+// the reachability verdict and back; o is source-reachable avoiding I
+// exactly when an entry survives in back, so the sweep — and onPath
+// entirely — is skipped for one word-parallel intersection test.
+func (e *incEnum) analyzePaths(o int, back, onPath, pBack *bitset.Set, lastIn int, chain []int, needChain bool) (bool, []int) {
 	g := e.g
 
-	// Backward reachability from o, avoiding I. Computed first because the
-	// caller's dead-seed test needs it even when o turns out separated.
-	// (o always survives the kernel's seed filter: it is never a chosen
-	// input, and the parent's back set contains its own seed o.)
-	e.seed1[0] = o
-	e.tr.ReachBackwardAvoiding(back, e.seed1[:], e.Iuser, pBack)
-
-	// Forward reachability from the virtual source, avoiding I. The scalar
-	// algorithm ran this over o's whole ancestor cone and intersected with
-	// back afterwards; here the traversal is confined to back directly,
-	// which is sound because for any x ∈ back, every vertex on a source→x
-	// path avoiding I also reaches o avoiding I (follow the path to x, then
-	// x's surviving path to o) and hence lies in back itself — including
-	// its membership in every ancestor level's back/onPath sets, since
-	// their input sets are subsets of I. So the source→o path region is
-	// exactly the forward closure of the entries inside back, one traversal
-	// over the surviving region instead of two over the cone.
-	onPath.CopyIntersect(g.EntrySet(), back)
-	e.tr.ForwardClosure(onPath, back)
-	if !onPath.Has(o) {
-		return false, chain
+	if pBack != nil {
+		// Seed-extension level: derive back from the parent. (lastIn ∈
+		// pBack: seeds are chosen on-path, and o ∈ pBack stays — it is
+		// never an input, so only its ancestors can be severed.)
+		e.tr.ShrinkReachInto(back, pBack, o, lastIn, e.Iuser)
+	} else {
+		// Phase start: traverse fresh, backward from o avoiding I.
+		e.seed1[0] = o
+		e.tr.ReachBackwardAvoiding(back, e.seed1[:], e.Iuser, nil)
 	}
 	if !needChain {
-		return true, chain
+		return back.Intersects(g.EntrySet()), chain
 	}
 
-	// Running-max dominator sweep. runMax starts at the highest on-path
-	// entry (every entry carries a virtual-source edge, which jumps over
-	// any vertex before it) and accumulates each visited vertex's highest
-	// on-path successor; an on-path vertex v dominates o exactly when
-	// runMax ≤ v at its turn. Ascending id order IS ascending topological
-	// order (Freeze pins the identity permutation), so one pass over the
-	// onPath words suffices, and o — the region's maximum, every other
-	// member reaches it — terminates the walk.
-	ow := onPath.Words()
-	runMax := dfg.HighestMaskedBit(g.EntrySet().Words(), ow)
-	for wi, w := range ow {
+	onPath.CopyIntersect(g.EntrySet(), back)
+	bw := back.Words()
+	opw := onPath.Words()
+	runMax := dfg.HighestMaskedBit(g.EntrySet().Words(), bw)
+	for wi, w := range bw {
 		for w != 0 {
-			v := wi<<6 + bits.TrailingZeros64(w)
+			b := bits.TrailingZeros64(w)
+			v := wi<<6 + b
 			w &= w - 1
+			if opw[wi]&(1<<uint(b)) == 0 {
+				if !g.PredsIntersect(v, onPath) {
+					continue // on no surviving source path
+				}
+				opw[wi] |= 1 << uint(b)
+			}
 			if v == o {
 				return true, chain
 			}
 			if runMax <= v {
 				chain = append(chain, v)
 			}
-			if p := dfg.HighestMaskedBit(g.SuccRow(v), ow); p > runMax {
-				runMax = p
+			if g.MaxSucc(v) > runMax {
+				if p := dfg.HighestMaskedBit(g.SuccRow(v), bw); p > runMax {
+					runMax = p
+				}
 			}
 		}
 	}
-	return true, chain
+	return false, chain // o itself never became on-path: I dominates o
 }
 
 // rebuildS recomputes the exact cut identified by the chosen outputs and
@@ -416,6 +420,24 @@ func (e *incEnum) pickOutput(depth, lastTopo, ninLeft, noutLeft int) {
 	if e.stopped || noutLeft <= 0 {
 		return
 	}
+	// With the input budget exhausted, a push whose grown cut would contain
+	// a root or forbidden vertex is dead on arrival (viable() below), and
+	// that fate is often decidable without running the grow kernel: an
+	// entry vertex (root or forbidden) in o's cone, outside S, that reaches
+	// no chosen input has every path to o input-free and must join B(I, o).
+	// uncAll collects the inputs' ancestor cones once per level — inputs
+	// included, they can never rejoin — so the test is one fused word scan
+	// per candidate output (quickOffending).
+	quickRej := e.opt.PruneWhileBuildingS && ninLeft <= 0
+	var uncAll *bitset.Set
+	if quickRej {
+		uncAll = e.uncBuf(depth)
+		uncAll.Clear()
+		for _, i := range e.Ilist {
+			uncAll.UnionWords(e.g.ReachTo(i).Words())
+			uncAll.Add(i)
+		}
+	}
 	topo := e.g.Topo()
 	start := 0
 	if e.opt.PruneOutputOutput {
@@ -439,6 +461,9 @@ func (e *incEnum) pickOutput(depth, lastTopo, ninLeft, noutLeft int) {
 			continue
 		}
 		e.stats.OutputsTried++
+		if quickRej && e.quickOffending(o, uncAll) {
+			continue
+		}
 		e.outs = append(e.outs, o)
 		e.outSet.Add(o)
 		e.growS(depth)
@@ -449,6 +474,28 @@ func (e *incEnum) pickOutput(depth, lastTopo, ninLeft, noutLeft int) {
 		e.outSet.Remove(o)
 		e.outs = e.outs[:len(e.outs)-1]
 	}
+}
+
+// quickOffending reports whether growing S for output o is certain to
+// produce a cut containing a root or forbidden vertex: an entry vertex of
+// o's cone outside S that reaches no chosen input (uncAll: the inputs and
+// their ancestor cones) cannot be severed — any path of its to o stays in
+// the cone, and an input on it would be one of its descendants, putting it
+// in uncAll — so it must join B(I, o). One fused word-parallel scan; when
+// it fires, the viable() rejection the grow kernel's work would have fed is
+// taken for free. (o itself needs no test: admissibleOutput already
+// excluded forbidden and root candidates.)
+func (e *incEnum) quickOffending(o int, uncAll *bitset.Set) bool {
+	cw := e.g.ReachTo(o).Words()
+	ew := e.g.EntrySet().Words()
+	sw := e.S.Words()
+	uw := uncAll.Words()
+	for i, c := range cw {
+		if c&ew[i]&^sw[i]&^uw[i] != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // admissibleOutput filters output candidates: not forbidden, not a root,
@@ -502,15 +549,23 @@ func (e *incEnum) reachableFromInput(o int) bool {
 // must keep a surviving path to o (the paper's "quick dismissal" of seed
 // sets violating definition 5's condition 2). A branch whose seed went dead
 // reproduces only cuts that the branch without that seed generates.
+//
+// pBack is the parent seed level's reaches-o frontier (nil at a phase
+// start); when present the just-pushed seed is Ilist's last entry and
+// analyzePaths derives the child frontier from it by delta.
 func (e *incEnum) pickInputs(depth, oTopo, o, ninLeft, noutLeft, seedStart, phaseStart int, pBack *bitset.Set) bool {
 	e.checkDeadline()
 	if e.stopped {
 		return false
 	}
 	e.stats.LTRuns++
+	lastIn := -1
+	if pBack != nil {
+		lastIn = e.Ilist[len(e.Ilist)-1]
+	}
 	onPath := e.pathBuf(depth)
 	back := e.backBuf(depth)
-	reachable, chain := e.analyzePaths(o, back, onPath, pBack, e.chainBuf(depth), ninLeft > 0)
+	reachable, chain := e.analyzePaths(o, back, onPath, pBack, lastIn, e.chainBuf(depth), ninLeft > 0)
 	e.chains[depth] = chain // keep any capacity growth for reuse
 	for _, v := range e.Ilist[phaseStart:] {
 		// Alive ⟺ some successor of v still reaches o avoiding I; o itself
@@ -566,51 +621,72 @@ func (e *incEnum) pickInputs(depth, oTopo, o, ninLeft, noutLeft, seedStart, phas
 			onPath.Count() > 64 {
 			// Load the mandatory vertices of the current phase's seeds and
 			// bound the inputs any completion still needs (see flow.go).
+			// flowBoundCanExceed first checks two O(words) structural caps
+			// on the max-flow; when either already fits the budget, the
+			// bound cannot prune and the residual graph is never built.
 			fs := e.flow()
 			fs.uncut.Clear()
 			for _, v := range e.Ilist[phaseStart:] {
 				e.mandatoryInto(fs.mandBuf, v, o, back)
 				fs.uncut.Union(fs.mandBuf)
 			}
-			if e.completionFlowBound(o, onPath, ninLeft) > ninLeft {
+			if e.flowBoundCanExceed(o, onPath, ninLeft) &&
+				e.completionFlowBound(o, onPath, ninLeft) > ninLeft {
 				e.stats.SeedsPruned++
 				return found
 			}
 		}
+		// Seed candidates walk the surviving-path vertices deepest-first
+		// (descending id ≡ reverse topological order, as Freeze pins the
+		// identity permutation), starting below the caller's seedStart.
+		// Iterating the onPath members directly skips the off-path mass for
+		// free; the historical index of seed i in that walk is N-1-i, which
+		// is what the recursion's seedStart carries forward.
 		lastValid := -1
-		for idx := seedStart; idx < len(e.byDepth); idx++ {
-			if e.stopped {
-				return found
+		maxID := e.g.N() - 1 - seedStart
+		ow := onPath.Words()
+	seedLoop:
+		for wi := maxID >> 6; wi >= 0; wi-- {
+			w := ow[wi]
+			if wi == maxID>>6 && maxID&63 != 63 {
+				w &= 1<<uint((maxID&63)+1) - 1
 			}
-			i := e.byDepth[idx]
-			if i == o || !onPath.Has(i) || e.outSet.Has(i) {
-				continue
-			}
-			if e.opt.PruneDominatorInput && lastValid >= 0 {
-				if e.g.IsForbidden(lastValid) {
-					// A forbidden seed cannot be replaced: stop extending
-					// this slot (§5.3, dominator–input pruning).
-					break
+			for w != 0 {
+				b := 63 - bits.LeadingZeros64(w)
+				w &^= 1 << uint(b)
+				i := wi<<6 + b
+				if e.stopped {
+					return found
 				}
-				if !e.g.Reaches(i, lastValid) {
-					e.stats.SeedsPruned++
-					continue // replacements come from the seed's ancestors
+				if i == o || e.outSet.Has(i) {
+					continue
 				}
-			}
-			if e.pruneSeed(i, o) {
-				continue
-			}
-			e.pushInput(i)
-			e.shrinkS(depth, i)
-			sub := false
-			if e.viable(ninLeft - 1) {
-				sub = e.pickInputs(depth+1, oTopo, o, ninLeft-1, noutLeft, idx+1, phaseStart, back)
-			}
-			e.undoShrinkS(depth)
-			e.popInput(i)
-			if sub {
-				found = true
-				lastValid = i
+				if e.opt.PruneDominatorInput && lastValid >= 0 {
+					if e.g.IsForbidden(lastValid) {
+						// A forbidden seed cannot be replaced: stop extending
+						// this slot (§5.3, dominator–input pruning).
+						break seedLoop
+					}
+					if !e.g.Reaches(i, lastValid) {
+						e.stats.SeedsPruned++
+						continue // replacements come from the seed's ancestors
+					}
+				}
+				if e.pruneSeed(i, o) {
+					continue
+				}
+				e.pushInput(i)
+				e.shrinkS(depth, i)
+				sub := false
+				if e.viable(ninLeft - 1) {
+					sub = e.pickInputs(depth+1, oTopo, o, ninLeft-1, noutLeft, e.g.N()-i, phaseStart, back)
+				}
+				e.undoShrinkS(depth)
+				e.popInput(i)
+				if sub {
+					found = true
+					lastValid = i
+				}
 			}
 		}
 	}
@@ -725,21 +801,24 @@ func (e *incEnum) checkDeadline() {
 
 // checkCut implements CHECK-CUT: accept the current S when its real outputs
 // (internal ones included, per the output–output pruning) fit the budget,
-// then recurse into further output choices.
+// then recurse into further output choices. The admission checks run on the
+// incremental validation engine: the real-output count is a population
+// count on the delta-maintained O(S) (the from-scratch OutputsInto sweep
+// this replaced was the single hottest per-candidate cost), and the full
+// §3 validation runs staged on the same maintained aggregates.
 func (e *incEnum) checkCut(depth, oTopo, ninLeft, noutLeft int) {
 	e.checkDeadline()
 	if e.stopped {
 		return
 	}
 	e.stats.Candidates++
-	e.tr.OutputsInto(e.outTest, e.S)
-	realOuts := e.outTest.Count()
+	realOuts := e.dval.NumOutputs()
 	if realOuts <= e.opt.MaxOutputs && !e.S.Empty() && !e.S.Intersects(e.g.ForbiddenSet()) {
 		if !e.seen.Insert(e.S.Hash128()) {
 			e.stats.Duplicates++
 		} else {
 			var cut Cut
-			if e.val.Validate(e.S, &cut) {
+			if e.dval.Validate(&cut) {
 				e.stats.Valid++
 				if e.opt.KeepCuts {
 					cut.Nodes = cut.Nodes.Clone()

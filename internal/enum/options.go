@@ -49,6 +49,20 @@
 // highest-set-bit scan per vertex. The from-scratch recomputation
 // (rebuildS) survives as the reference that property tests pin every
 // delta against.
+//
+// Since PR 5 the sharing extends past S to the per-output analysis and the
+// admission checks themselves. The reaches-o frontier of PICK-INPUTS is
+// derived from its parent seed level by a confined delta
+// (dfg.Traverser.ShrinkReachInto) instead of re-traversed; the source→o
+// on-path set and the reduced-graph dominators fall out of one fused
+// ascending pass over that frontier with no forward closure at all; an
+// output push that is doomed with the input budget exhausted is rejected
+// by one word-parallel scan before the grow kernel runs (quickOffending);
+// and CHECK-CUT's §3 validation runs on the incremental validation engine
+// (DeltaValidator, deltaval.go), which mirrors S through the search's own
+// journals and keeps I(S), O(S) and the convexity frontiers as
+// delta-maintained aggregates, demoting the from-scratch Validator to the
+// property-tested reference.
 package enum
 
 import "time"

@@ -50,11 +50,13 @@ import (
 // workers×shardStreamBuf cuts beyond the frontier.
 const shardStreamBuf = 64
 
-// streamBuf shrinks the per-position buffer on very large graphs: the
-// merge allocates one channel per node up front, and while only ~workers
-// streams ever hold data, the buffer backing is paid for all n. Capping
-// the total slot count keeps the up-front cost a few MB even for
-// blocks far beyond the corpus's 1196-node ceiling.
+// streamBuf shrinks the per-position buffer on very large graphs. Streams
+// materialize lazily as positions are claimed and are released once
+// drained (parallel.Ordered), so the common case pays only for the
+// ~workers streams that actually hold data; the cap bounds the worst case
+// — every position emitting into a buffer while producers sprint ahead of
+// the drain frontier — to a few MB even for blocks far beyond the
+// corpus's 1196-node ceiling.
 func streamBuf(n int) int {
 	const totalSlots = 1 << 18
 	if b := totalSlots / n; b < shardStreamBuf {

@@ -85,48 +85,94 @@ func ForEach(workers, n, batch int, fn func(i int)) {
 // one consumer calls Drain, which yields every value of index 0, then every
 // value of index 1, and so on.
 //
+// Streams are allocated lazily. NewOrdered reserves only an index table;
+// an index's buffered channel materializes at its first Emit, an index
+// closed without emitting is marked done with no channel at all, and Drain
+// releases each stream once it is exhausted. Startup cost and steady-state
+// memory therefore scale with the values actually in flight — bounded by
+// the producers and their buffers — not with n, which matters when n is
+// "one stream per graph vertex" and almost every stream is empty.
+//
 // Emit blocks when an index's buffer is full, which bounds memory: at most
 // workers×buf values sit in flight ahead of the drain frontier.
 //
 // Protocol. Producers must claim indices in ascending order (e.g. from a
 // shared atomic counter), finishing — and closing — one claim before taking
-// the next, and every index must eventually be closed. Under that
+// the next, and every index must eventually be closed. A single producer
+// owns any given index: Emit and Close for one index must come from one
+// goroutine (concurrent producers own distinct indices). Under that
 // discipline the merge cannot deadlock: the lowest unclosed index is either
-// claimed, so its producer emits into the stream Drain is currently
-// reading, or unclaimed, in which case all lower indices are closed and
-// some producer's next claim reaches it. Claiming out of ascending order
-// voids the guarantee — a producer blocked on a high index can then starve
-// the unproduced low index Drain is waiting for.
+// claimed, so its producer creates the very stream Drain is waiting on (the
+// condition variable hands it over), or unclaimed, in which case all lower
+// indices are closed and some producer's next claim reaches it. Claiming
+// out of ascending order voids the guarantee — a producer blocked on a high
+// index can then starve the unproduced low index Drain is waiting for.
 type Ordered[T any] struct {
-	chans []chan T
+	mu    sync.Mutex
+	cond  *sync.Cond
+	chans []chan T // lazily created; nil = not yet emitted (or already drained)
+	done  []bool   // closed with no channel ever created
+	buf   int
 }
 
-// NewOrdered returns an Ordered merge over n indices with a per-index
-// buffer of buf values.
+// NewOrdered returns an Ordered merge over n indices whose streams carry a
+// per-index buffer of buf values once they materialize.
 func NewOrdered[T any](n, buf int) *Ordered[T] {
-	o := &Ordered[T]{chans: make([]chan T, n)}
-	for i := range o.chans {
-		o.chans[i] = make(chan T, buf)
-	}
+	o := &Ordered[T]{chans: make([]chan T, n), done: make([]bool, n), buf: buf}
+	o.cond = sync.NewCond(&o.mu)
 	return o
 }
 
-// Emit appends v to index i's stream. It may block until the consumer
-// drains earlier indices.
-func (o *Ordered[T]) Emit(i int, v T) { o.chans[i] <- v }
+// Emit appends v to index i's stream, materializing it on first use. It may
+// block until the consumer drains earlier indices.
+func (o *Ordered[T]) Emit(i int, v T) {
+	// Reading without the lock is safe: index i's channel is written only
+	// by its single producer — this goroutine — below.
+	ch := o.chans[i]
+	if ch == nil {
+		ch = make(chan T, o.buf)
+		o.mu.Lock()
+		o.chans[i] = ch
+		o.mu.Unlock()
+		o.cond.Broadcast()
+	}
+	ch <- v
+}
 
 // Close marks index i's stream complete. Every index must be closed exactly
-// once for Drain to terminate.
-func (o *Ordered[T]) Close(i int) { close(o.chans[i]) }
+// once for Drain to terminate. An index that never emitted closes without
+// ever allocating a channel.
+func (o *Ordered[T]) Close(i int) {
+	if ch := o.chans[i]; ch != nil { // single-producer read, as in Emit
+		close(ch)
+		return
+	}
+	o.mu.Lock()
+	o.done[i] = true
+	o.mu.Unlock()
+	o.cond.Broadcast()
+}
 
 // Drain consumes the streams in strict index order, calling visit for every
-// value. It returns when all indices are closed and drained. Early
-// termination is the caller's business: keep consuming (discarding) so
-// blocked producers can finish.
+// value, and releases each stream as it finishes with it. It returns when
+// all indices are closed and drained. Early termination is the caller's
+// business: keep consuming (discarding) so blocked producers can finish.
 func (o *Ordered[T]) Drain(visit func(T)) {
-	for _, ch := range o.chans {
+	for i := range o.chans {
+		o.mu.Lock()
+		for o.chans[i] == nil && !o.done[i] {
+			o.cond.Wait()
+		}
+		ch := o.chans[i]
+		o.mu.Unlock()
+		if ch == nil {
+			continue // closed empty, nothing was ever allocated
+		}
 		for v := range ch {
 			visit(v)
 		}
+		o.mu.Lock()
+		o.chans[i] = nil // release the drained stream's buffer
+		o.mu.Unlock()
 	}
 }

@@ -142,3 +142,51 @@ func TestOrderedBackpressure(t *testing.T) {
 		t.Fatalf("drained %v", got)
 	}
 }
+
+// TestOrderedLazyAllocation pins the lazy-stream contract: indices closed
+// without emitting never materialize a channel, emitting indices allocate
+// exactly one, and Drain releases each stream after exhausting it — so
+// buffer memory follows the values in flight, not the index count.
+func TestOrderedLazyAllocation(t *testing.T) {
+	const n = 1 << 12
+	ord := NewOrdered[int](n, 64)
+	live := func() int {
+		ord.mu.Lock()
+		defer ord.mu.Unlock()
+		c := 0
+		for _, ch := range ord.chans {
+			if ch != nil {
+				c++
+			}
+		}
+		return c
+	}
+	if got := live(); got != 0 {
+		t.Fatalf("NewOrdered materialized %d channels up front, want 0", got)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if i%97 == 0 {
+				ord.Emit(i, i) // every 97th index carries one value
+			}
+			ord.Close(i)
+		}
+	}()
+	drained := 0
+	ord.Drain(func(v int) {
+		if v%97 != 0 {
+			t.Errorf("unexpected value %d", v)
+		}
+		drained++
+	})
+	wg.Wait()
+	if want := (n + 96) / 97; drained != want {
+		t.Fatalf("drained %d values, want %d", drained, want)
+	}
+	if got := live(); got != 0 {
+		t.Fatalf("%d channels still live after Drain, want 0 (streams must be released)", got)
+	}
+}
