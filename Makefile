@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race diff-oracle diff-oracle-quick docs-check bench bench-json bench-json-quick bench-gate profile fuzz ci
+.PHONY: build vet test test-race diff-oracle diff-oracle-quick docs-check bench bench-json bench-json-quick bench-gate bench-scaling profile fuzz ci
 
 build:
 	$(GO) build ./...
@@ -49,16 +49,27 @@ bench:
 
 # Machine-readable perf record: runs the tier-1 enumeration benchmarks —
 # including the worker-count scaling curve at real GOMAXPROCS — and commits
-# the numbers (ns/op, allocs/op, cuts, cuts/sec, speedup_vs_serial) to
-# BENCH_PR5.json so the performance trajectory is tracked in-repo. The cut
-# counts in the file are part of the correctness gate, not just context:
-# bench-gate fails on any drift. bench-json-quick skips the 220-node
-# scaling curve.
+# the numbers (ns/op, allocs/op, cuts, cuts/sec, steals, speedup_vs_serial)
+# to BENCH_PR6.json so the performance trajectory is tracked in-repo. The
+# cut counts in the file are part of the correctness gate, not just
+# context: bench-gate fails on any drift. The file also records num_cpu and
+# gomaxprocs; bench-gate refuses to performance-compare multi-worker
+# entries against a baseline from a machine with a different CPU count.
+# bench-json-quick skips the 220-node scaling curve.
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_PR5.json
+	$(GO) run ./cmd/benchjson -o BENCH_PR6.json
 
 bench-json-quick:
 	$(GO) run ./cmd/benchjson -o /tmp/bench_smoke.json -quick -iters 1
+
+# Scaling certification: re-record the full curve and fail unless the
+# largest worker count reaches a 4x speedup over serial on the n=220
+# instance. benchjson refuses to certify on fewer than 8 schedulable CPUs,
+# so this target is honest on a 1-CPU box: it fails loudly instead of
+# recording a vacuous pass. Run it (and commit the refreshed
+# BENCH_PR6.json) when benchmarking hardware with >= 8 cores is available.
+bench-scaling:
+	$(GO) run ./cmd/benchjson -o BENCH_PR6.json -minspeedup 4
 
 # Regression gate: re-measure the quick tier-1 benchmarks and fail when
 # cuts/sec drops more than 15% below the committed baseline, when allocs/op
@@ -71,7 +82,7 @@ bench-json-quick:
 # bench-json` (or gate with a looser -regress) instead of comparing against
 # another machine's numbers.
 bench-gate:
-	$(GO) run ./cmd/benchjson -o /tmp/bench_gate.json -quick -iters 3 -compare BENCH_PR5.json
+	$(GO) run ./cmd/benchjson -o /tmp/bench_gate.json -quick -iters 3 -compare BENCH_PR6.json
 
 # Profiling harness: run the tier-1 workloads — including the 220-node
 # instance that dominates the serial profile — under pprof and drop

@@ -19,7 +19,15 @@
 // the -allocslack headroom (the steady-state enumeration is allocation-
 // free, so alloc growth is a leak in the scratch-reuse discipline, not
 // noise), or when the cut count drifted at all (a correctness failure, not
-// a performance one).
+// a performance one). Speedup curves are only comparable between machines
+// with the same parallel hardware, so when the baseline's num_cpu or
+// gomaxprocs differs from the current machine's the gate REFUSES to
+// performance-compare the multi-worker scaling entries (cut counts are
+// still gated — correctness does not depend on core count) and says so.
+// -minspeedup, when positive, additionally fails the run if the largest
+// scaling entry's speedup_vs_serial falls short — the machine-checked form
+// of the "≥ 4× at 8 cores" acceptance bar; it requires gomaxprocs ≥ 8 and
+// refuses (exit non-zero) to certify a speedup on fewer cores.
 //
 // With -cpuprofile / -memprofile the command doubles as the profiling
 // harness: the same tier-1 workloads run under pprof, so the committed
@@ -28,8 +36,9 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchjson -o BENCH_PR5.json [-iters 3] [-quick]
-//	go run ./cmd/benchjson -o /tmp/fresh.json -quick -compare BENCH_PR5.json
+//	go run ./cmd/benchjson -o BENCH_PR6.json [-iters 3] [-quick]
+//	go run ./cmd/benchjson -o /tmp/fresh.json -quick -compare BENCH_PR6.json
+//	go run ./cmd/benchjson -o /tmp/fresh.json -compare BENCH_PR6.json -minspeedup 4
 //	go run ./cmd/benchjson -o /tmp/prof.json -cpuprofile cpu.prof -memprofile mem.prof
 package main
 
@@ -58,6 +67,11 @@ type Result struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	Cuts        int     `json:"cuts"`
 	CutsPerSec  float64 `json:"cuts_per_sec"`
+	// Steals counts the interior search-tree ranges executed by a worker
+	// other than their discoverer (Stats.Steals of the last iteration).
+	// Scheduling-dependent by nature; recorded to show whether dynamic
+	// re-balancing was actually active in a scaling entry.
+	Steals int `json:"steals,omitempty"`
 	// SpeedupVsSerial is cuts/sec relative to the workers=1 entry of the
 	// same workload; only scaling-curve entries carry it.
 	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
@@ -80,6 +94,7 @@ const minMeasure = time.Second
 func measure(name string, iters int, run func(visit func(polyise.Cut) bool) polyise.Stats) Result {
 	var ms0, ms1 runtime.MemStats
 	var elapsed time.Duration
+	var stats polyise.Stats
 	cuts := 0
 	for {
 		runtime.GC()
@@ -87,7 +102,7 @@ func measure(name string, iters int, run func(visit func(polyise.Cut) bool) poly
 		start := time.Now()
 		for i := 0; i < iters; i++ {
 			cuts = 0
-			run(func(polyise.Cut) bool { cuts++; return true })
+			stats = run(func(polyise.Cut) bool { cuts++; return true })
 		}
 		elapsed = time.Since(start)
 		runtime.ReadMemStats(&ms1)
@@ -117,6 +132,7 @@ func measure(name string, iters int, run func(visit func(polyise.Cut) bool) poly
 		AllocsPerOp: int64(ms1.Mallocs-ms0.Mallocs) / int64(iters),
 		BytesPerOp:  int64(ms1.TotalAlloc-ms0.TotalAlloc) / int64(iters),
 		Cuts:        cuts,
+		Steals:      stats.Steals,
 	}
 	if nsPerOp > 0 {
 		res.CutsPerSec = float64(cuts) / (float64(nsPerOp) / 1e9)
@@ -155,16 +171,27 @@ func scalingName(workers int) string {
 	return fmt.Sprintf("ParallelEnumerate/w%d", workers)
 }
 
-// gate compares fresh results against the committed baseline and returns
+// gate compares a fresh report against the committed baseline and returns
 // the regression messages (empty = pass). Benchmarks absent from either
 // side are skipped: the gate protects the tier-1 set both files measured.
-func gate(fresh, baseline []Result, regress float64, allocSlack int64) []string {
-	base := make(map[string]Result, len(baseline))
-	for _, b := range baseline {
+//
+// Multi-worker scaling entries carry an extra precondition: their cuts/sec
+// (and hence any speedup curve derived from them) is a property of the
+// recording machine's parallel hardware, so when the reports disagree on
+// num_cpu or gomaxprocs the gate refuses the performance comparison for
+// entries with workers > 1 — printing what it skipped — instead of either
+// failing spuriously (1-CPU CI against an 8-core baseline) or silently
+// blessing a flattened curve (8-core CI against a 1-CPU baseline). Cut
+// counts and allocs are still gated: correctness and the allocation
+// discipline do not depend on core count.
+func gate(fresh, baseline Report, regress float64, allocSlack int64) []string {
+	base := make(map[string]Result, len(baseline.Benchmarks))
+	for _, b := range baseline.Benchmarks {
 		base[b.Name] = b
 	}
+	sameCPU := fresh.NumCPU == baseline.NumCPU && fresh.GOMAXPROCS == baseline.GOMAXPROCS
 	var failures []string
-	for _, f := range fresh {
+	for _, f := range fresh.Benchmarks {
 		b, ok := base[f.Name]
 		if !ok {
 			continue
@@ -191,6 +218,12 @@ func gate(fresh, baseline []Result, regress float64, allocSlack int64) []string 
 					f.Name, f.AllocsPerOp, b.AllocsPerOp, allocSlack))
 			continue
 		}
+		if f.Workers > 1 && !sameCPU {
+			fmt.Fprintf(os.Stderr,
+				"bench-gate: refusing to compare %s across differing CPU counts (fresh %d cpu / %d maxprocs, baseline %d cpu / %d maxprocs)\n",
+				f.Name, fresh.NumCPU, fresh.GOMAXPROCS, baseline.NumCPU, baseline.GOMAXPROCS)
+			continue
+		}
 		if b.CutsPerSec <= 0 {
 			continue
 		}
@@ -209,12 +242,14 @@ func main() { os.Exit(run()) }
 // run carries the whole command so the pprof defers fire before the
 // process exits (os.Exit in main would skip them on a gate failure).
 func run() int {
-	out := flag.String("o", "BENCH_PR5.json", "output JSON path")
+	out := flag.String("o", "BENCH_PR6.json", "output JSON path")
 	iters := flag.Int("iters", 2, "iterations per benchmark")
 	quick := flag.Bool("quick", false, "skip the 220-node scaling curve (CI smoke)")
 	compare := flag.String("compare", "", "baseline BENCH_*.json to gate against (exit 1 on regression)")
 	regress := flag.Float64("regress", 0.15, "allowed cuts/sec regression fraction for -compare")
 	allocSlack := flag.Int64("allocslack", 128, "allowed absolute allocs/op growth over baseline for -compare")
+	minSpeedup := flag.Float64("minspeedup", 0,
+		"fail unless the largest scaling entry reaches this speedup over serial (requires gomaxprocs ≥ 8; 0 disables)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile (after the runs) to this file")
 	flag.Parse()
@@ -312,6 +347,13 @@ func run() int {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 
+	if *minSpeedup > 0 {
+		if msg := checkMinSpeedup(rep, *minSpeedup); msg != "" {
+			fmt.Fprintln(os.Stderr, "bench-gate FAIL:", msg)
+			return 1
+		}
+	}
+
 	if *compare != "" {
 		raw, err := os.ReadFile(*compare)
 		if err != nil {
@@ -323,7 +365,7 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
 			return 1
 		}
-		failures := gate(rep.Benchmarks, baseline.Benchmarks, *regress, *allocSlack)
+		failures := gate(rep, baseline, *regress, *allocSlack)
 		if len(failures) > 0 {
 			for _, f := range failures {
 				fmt.Fprintln(os.Stderr, "bench-gate FAIL:", f)
@@ -334,4 +376,33 @@ func run() int {
 			len(rep.Benchmarks), 100**regress, *compare)
 	}
 	return 0
+}
+
+// checkMinSpeedup enforces the scaling acceptance bar on the fresh report:
+// the largest-worker scaling entry must reach the requested speedup over
+// the serial entry. A machine with fewer than 8 schedulable CPUs cannot
+// certify a parallel speedup claim, so the check refuses to pass there
+// rather than report a vacuous success — a 1-CPU recording stays visibly
+// uncertified until the curve is re-recorded on real parallel hardware.
+func checkMinSpeedup(rep Report, want float64) string {
+	if rep.GOMAXPROCS < 8 {
+		return fmt.Sprintf("minspeedup %.1f requires gomaxprocs ≥ 8 to certify; this machine has %d cpu / %d maxprocs — re-record the curve on parallel hardware",
+			want, rep.NumCPU, rep.GOMAXPROCS)
+	}
+	best := Result{}
+	for _, r := range rep.Benchmarks {
+		if r.Workers > best.Workers {
+			best = r
+		}
+	}
+	if best.Workers <= 1 {
+		return "minspeedup: no multi-worker scaling entry in this report (ran with -quick?)"
+	}
+	if best.SpeedupVsSerial < want {
+		return fmt.Sprintf("%s: speedup %.2f× over serial, want ≥ %.1f×",
+			best.Name, best.SpeedupVsSerial, want)
+	}
+	fmt.Fprintf(os.Stderr, "bench-gate: %s speedup %.2f× ≥ %.1f× on %d cpus\n",
+		best.Name, best.SpeedupVsSerial, want, rep.NumCPU)
+	return ""
 }

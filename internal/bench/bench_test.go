@@ -201,3 +201,41 @@ func BenchmarkCorpusCuts(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkIntraBlockScaling is the single-block complement of
+// BenchmarkCorpusCuts: one large block enumerated with INTRA-block sharding
+// plus interior work-stealing, the regime where block-level pooling cannot
+// help because there is only one block. `serial` is the paper algorithm,
+// `parallel` uses GOMAXPROCS workers, and `steal-forced` uses one worker
+// per first-output position so every balancing decision is an interior
+// steal — the steals/op metric shows whether dynamic re-balancing was
+// active (it is scheduling-dependent, so the metric is informative, not
+// asserted). The per-run cut count is asserted instead: any worker count
+// must enumerate the identical set.
+func BenchmarkIntraBlockScaling(b *testing.B) {
+	g := workload.MiBenchLike(rand.New(rand.NewSource(17)), 160, workload.DefaultProfile())
+	ref := -1
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}, {"steal-forced", g.N()}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			opt := enum.DefaultOptions()
+			opt.Parallelism = cfg.workers
+			opt.KeepCuts = false
+			b.ReportAllocs()
+			steals, cuts := 0, 0
+			for i := 0; i < b.N; i++ {
+				cuts = 0
+				stats := enum.Enumerate(g, opt, func(enum.Cut) bool { cuts++; return true })
+				steals += stats.Steals
+			}
+			b.ReportMetric(float64(steals)/float64(b.N), "steals/op")
+			if ref < 0 {
+				ref = cuts
+			} else if cuts != ref {
+				b.Fatalf("workers=%d enumerated %d cuts, serial found %d", cfg.workers, cuts, ref)
+			}
+		})
+	}
+}

@@ -75,7 +75,9 @@ func TestParallelMatchesSerialOnRandomCorpus(t *testing.T) {
 					sopt := opt
 					sopt.Parallelism = 1
 					serial := visitSequence(g, sopt)
-					for _, workers := range []int{2, 5} {
+					// 2 and 5 exercise the skewed-shard regime; n forces all
+					// balancing through interior work-stealing.
+					for _, workers := range []int{2, 5, n} {
 						popt := opt
 						popt.Parallelism = workers
 						par := visitSequence(g, popt)
@@ -193,33 +195,73 @@ func TestMidSizeOracleFreshRandom(t *testing.T) {
 }
 
 // TestParallelStatsConsistency pins down which Stats counters are exactly
-// preserved by sharding (see the contract in parallel.go): the amount of
-// search work and the number of distinct valid cuts are identical, and the
-// candidate accounting identity holds on both sides; only the
-// Duplicates/Invalid attribution may shift.
+// preserved by sharding (see the contract in parallel.go): for runs that
+// complete, the amount of search work and the number of distinct valid
+// cuts are identical — including under forced work-stealing, where search
+// levels are executed piecewise by different workers — and the candidate
+// accounting identity holds on both sides; only the Duplicates/Invalid
+// attribution may shift. After an early visitor stop the work counters are
+// explicitly NOT preserved (workers past the stopped prefix report extra
+// work); the invariants that remain are Valid ≡ visited cuts and the
+// parallel work counters dominating the serial-stop baseline's.
 func TestParallelStatsConsistency(t *testing.T) {
 	for seed := int64(1); seed <= 3; seed++ {
 		g := workload.MiBenchLike(rand.New(rand.NewSource(seed)), 50, workload.DefaultProfile())
 		sopt := enum.DefaultOptions()
 		sopt.Parallelism = 1
 		_, ss := enum.CollectAll(g, sopt)
-		popt := enum.DefaultOptions()
-		popt.Parallelism = 3
-		_, ps := enum.CollectAll(g, popt)
+		// workers=3 is the skew-sharding regime; workers=n forces all
+		// balancing through interior steals.
+		for _, workers := range []int{3, g.N()} {
+			popt := enum.DefaultOptions()
+			popt.Parallelism = workers
+			_, ps := enum.CollectAll(g, popt)
 
-		if ps.Valid != ss.Valid || ps.Candidates != ss.Candidates ||
-			ps.LTRuns != ss.LTRuns || ps.OutputsTried != ss.OutputsTried ||
-			ps.SeedsPruned != ss.SeedsPruned {
-			t.Fatalf("seed=%d: work counters diverge\nserial   %+v\nparallel %+v", seed, ss, ps)
+			if ps.Valid != ss.Valid || ps.Candidates != ss.Candidates ||
+				ps.LTRuns != ss.LTRuns || ps.OutputsTried != ss.OutputsTried ||
+				ps.SeedsPruned != ss.SeedsPruned {
+				t.Fatalf("seed=%d workers=%d: work counters diverge\nserial   %+v\nparallel %+v",
+					seed, workers, ss, ps)
+			}
+			// Candidates split into a pre-filter reject (outputs over budget,
+			// forbidden overlap), then Valid/Invalid/Duplicates. The pre-filter
+			// reject mass is deterministic per subtree, so the examined mass
+			// Valid+Invalid+Duplicates must agree even though the
+			// Duplicates/Invalid attribution may shift between serial (global
+			// dedup) and parallel (per-scope dedup plus merge).
+			if ps.Duplicates+ps.Invalid != ss.Duplicates+ss.Invalid {
+				t.Fatalf("seed=%d workers=%d: duplicate+invalid mass diverges\nserial   %+v\nparallel %+v",
+					seed, workers, ss, ps)
+			}
 		}
-		// Candidates split into a pre-filter reject (outputs over budget,
-		// forbidden overlap), then Valid/Invalid/Duplicates. The pre-filter
-		// reject mass is deterministic per subtree, so the examined mass
-		// Valid+Invalid+Duplicates must agree even though the
-		// Duplicates/Invalid attribution may shift between serial (global
-		// dedup) and parallel (per-subtree dedup plus merge).
-		if ps.Duplicates+ps.Invalid != ss.Duplicates+ss.Invalid {
-			t.Fatalf("seed=%d: duplicate+invalid mass diverges\nserial   %+v\nparallel %+v", seed, ss, ps)
+
+		// Early-stop invariants: Valid counts exactly the visited cuts, and
+		// the parallel run can only have done MORE exploratory work than a
+		// serial run stopped at the same cut, never less (the merge visiting
+		// cut k proves every earlier scope fully drained).
+		if ss.Valid < 4 {
+			continue
+		}
+		k := ss.Valid / 2
+		stopAfter := func(opt enum.Options) enum.Stats {
+			seen := 0
+			return enum.Enumerate(g, opt, func(enum.Cut) bool {
+				seen++
+				return seen < k
+			})
+		}
+		sstop := stopAfter(sopt)
+		popt := enum.DefaultOptions()
+		popt.Parallelism = g.N()
+		pstop := stopAfter(popt)
+		if sstop.Valid != k || pstop.Valid != k {
+			t.Fatalf("seed=%d: early-stop Valid = %d serial / %d parallel, want %d",
+				seed, sstop.Valid, pstop.Valid, k)
+		}
+		if pstop.Candidates < sstop.Candidates || pstop.OutputsTried < sstop.OutputsTried ||
+			pstop.LTRuns < sstop.LTRuns {
+			t.Fatalf("seed=%d: stopped parallel run reports less work than the stopped serial run\nserial   %+v\nparallel %+v",
+				seed, sstop, pstop)
 		}
 	}
 }

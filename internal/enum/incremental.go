@@ -183,6 +183,51 @@ type incEnum struct {
 	fs           *flowScratch
 	stopped      bool
 	deadlineTick uint32
+
+	// Work-stealing state, nil/empty in serial runs (see parallel.go for
+	// the protocol). curSeg is the merge segment the worker currently emits
+	// into; ranges is the stack of live pickOutputRange frames a donor can
+	// split; segStack holds the resume segments created by splits, keyed by
+	// the range frame whose epilogue must switch to them.
+	steal    *stealState
+	curSeg   *parallel.Seg[Cut]
+	ranges   []posRange
+	segStack []segResume
+}
+
+// posRange is one live pickOutputRange frame: the topological positions
+// [cur+1, end) are this level's untried next-output candidates, and a donor
+// may give away the upper half of that interval because the iterations are
+// mutually independent — each one restores S, outs and Ilist to the frame's
+// entry state, which outsLen/insLen record as prefix lengths so a thief can
+// reconstruct it (S is a pure function of the outs/Ilist prefixes;
+// rebuildS). cur and end are only ever mutated by the owning worker's own
+// goroutine: a split shrinks end and publishes the cut-off tail as a task,
+// never touching another worker's state.
+//
+// Seed-extension intervals (the seedLoop of pickInputs) are deliberately
+// NOT stealable: under PruneDominatorInput the loop threads lastValid
+// across iterations, so a stolen tail executed concurrently could not
+// reproduce the serial pruning decisions. Next-output intervals carry no
+// such cross-iteration state (uncAll and quickRej are level-constant).
+type posRange struct {
+	depth    int // recursion depth of the frame (journal/scratch index)
+	cur      int // last claimed topological position; [start, cur] are taken
+	end      int // exclusive upper bound; shrunk by splits
+	outsLen  int // len(outs) at frame entry — the shared output prefix
+	insLen   int // len(Ilist) at frame entry — the shared input prefix
+	ninLeft  int
+	noutLeft int
+}
+
+// segResume records the resume segment a split created: once the range
+// frame at rangeIdx finishes, the donor closes its current segment and
+// continues emitting into seg, which the merge places right after the
+// stolen segment — the exact serial position of the donor's post-range
+// output.
+type segResume struct {
+	rangeIdx int
+	seg      *parallel.Seg[Cut]
 }
 
 // journalBuf returns the undo-journal buffer for recursion depth d. Each
@@ -420,6 +465,23 @@ func (e *incEnum) pickOutput(depth, lastTopo, ninLeft, noutLeft int) {
 	if e.stopped || noutLeft <= 0 {
 		return
 	}
+	start := 0
+	if e.opt.PruneOutputOutput {
+		start = lastTopo + 1
+	}
+	e.pickOutputRange(depth, start, len(e.g.Topo()), ninLeft, noutLeft)
+}
+
+// pickOutputRange runs PICK-OUTPUT's candidate loop over the topological
+// positions [start, end). It is the unit of work the donor side of
+// work-stealing operates on: the loop claims positions from a posRange
+// frame whose end a concurrent-donation poll (maybeSplit, reached from the
+// loop body's recursion) may pull in, and whose epilogue switches the
+// worker onto any resume segments splits created. A thief enters here
+// directly (runTask) with the donor's reconstructed prefix state. Serial
+// runs take the same path with an empty steal state; the frame bookkeeping
+// is a few appends per level.
+func (e *incEnum) pickOutputRange(depth, start, end, ninLeft, noutLeft int) {
 	// With the input budget exhausted, a push whose grown cut would contain
 	// a root or forbidden vertex is dead on arrival (viable() below), and
 	// that fate is often decidable without running the grow kernel: an
@@ -439,14 +501,20 @@ func (e *incEnum) pickOutput(depth, lastTopo, ninLeft, noutLeft int) {
 		}
 	}
 	topo := e.g.Topo()
-	start := 0
-	if e.opt.PruneOutputOutput {
-		start = lastTopo + 1
-	}
-	for pos := start; pos < len(topo); pos++ {
-		if e.stopped {
-			return
+	ri := len(e.ranges)
+	e.ranges = append(e.ranges, posRange{
+		depth: depth, cur: start - 1, end: end,
+		outsLen: len(e.outs), insLen: len(e.Ilist),
+		ninLeft: ninLeft, noutLeft: noutLeft,
+	})
+	// The frame must be addressed as e.ranges[ri] afresh after any
+	// recursion: deeper levels append to the slice and may move it.
+	for !e.stopped {
+		pos := e.ranges[ri].cur + 1
+		if pos >= e.ranges[ri].end { // end may have shrunk via a split
+			break
 		}
+		e.ranges[ri].cur = pos
 		o := topo[pos]
 		if !e.admissibleOutput(o) {
 			continue
@@ -473,6 +541,80 @@ func (e *incEnum) pickOutput(depth, lastTopo, ninLeft, noutLeft int) {
 		e.undoGrowS(depth)
 		e.outSet.Remove(o)
 		e.outs = e.outs[:len(e.outs)-1]
+	}
+	e.ranges = e.ranges[:ri]
+	e.popRangeSegs(ri)
+}
+
+// maybeSplit is the donation poll: when another worker is hungry, give away
+// the upper half of the shallowest splittable next-output interval on the
+// frame stack. Called from the hot admission paths (pickInputs, checkCut);
+// the serial fast path is one nil check and the parallel no-donor fast path
+// one atomic load.
+//
+// Splitting the SHALLOWEST splittable frame first does double duty. It
+// donates the largest subtree (best granularity), and it is what makes
+// splicing at the worker's CURRENT segment correct: a frame's remaining
+// interval only ever shrinks, so once a frame is unsplittable it stays so,
+// which makes the rangeIdx values on segStack non-decreasing — every
+// already-promised stolen range belongs to a frame at least as deep as the
+// one being split now, so its output serially precedes the newly stolen
+// tail, and the merge-list order (new splices sit closest to the current
+// segment) reproduces exactly that.
+func (e *incEnum) maybeSplit() {
+	st := e.steal
+	if st == nil || e.stopped {
+		return
+	}
+	if st.hungry.Load() == 0 {
+		return
+	}
+	for ri := range e.ranges {
+		remaining := e.ranges[ri].end - (e.ranges[ri].cur + 1)
+		if remaining < 2 {
+			continue
+		}
+		if !st.claimHungry() {
+			return // the hungry worker was claimed by another donor
+		}
+		r := &e.ranges[ri] // stable here: no recursion below
+		mid := r.cur + 1 + (remaining+1)/2
+		stolen, resume := st.ord.Split(e.curSeg)
+		t := stealTask{
+			seg:      stolen,
+			depth:    r.depth,
+			posStart: mid,
+			posEnd:   r.end,
+			ninLeft:  r.ninLeft,
+			noutLeft: r.noutLeft,
+			outs:     append([]int(nil), e.outs[:r.outsLen]...),
+			ins:      append([]int(nil), e.Ilist[:r.insLen]...),
+		}
+		r.end = mid
+		e.segStack = append(e.segStack, segResume{rangeIdx: ri, seg: resume})
+		// The claimed hungry worker is parked in its task select and the
+		// donor holds a liveness token, so this unbuffered send cannot
+		// block indefinitely; the token created here transfers to the task
+		// (see stealState).
+		st.active.Add(1)
+		st.tasks <- t
+		return
+	}
+}
+
+// popRangeSegs runs at a pickOutputRange frame's epilogue: for every split
+// the frame granted (LIFO on segStack), close the segment the worker has
+// been emitting into and move onto the split's resume segment, whose merge
+// position is right after the corresponding stolen range's output. With
+// several splits of one frame the intermediate resume segments close empty
+// — the donor reached the final (earliest-created) resume segment only
+// after walking through the later ones.
+func (e *incEnum) popRangeSegs(ri int) {
+	for len(e.segStack) > 0 && e.segStack[len(e.segStack)-1].rangeIdx == ri {
+		top := e.segStack[len(e.segStack)-1]
+		e.segStack = e.segStack[:len(e.segStack)-1]
+		e.steal.ord.Close(e.curSeg)
+		e.curSeg = top.seg
 	}
 }
 
@@ -558,6 +700,7 @@ func (e *incEnum) pickInputs(depth, oTopo, o, ninLeft, noutLeft, seedStart, phas
 	if e.stopped {
 		return false
 	}
+	e.maybeSplit()
 	e.stats.LTRuns++
 	lastIn := -1
 	if pBack != nil {
@@ -781,6 +924,14 @@ func (e *incEnum) popInput(w int) {
 // Options.Deadline has passed. The flag is an atomic load, checked on every
 // call; the wall clock is sampled only every few thousand checks to keep
 // its cost negligible.
+//
+// A timed-out worker raises the shared stop flag HERE, before its unwinding
+// closes any merge segment. The merge observes a close only after draining
+// the segment, and a channel close is an acquire/release pair, so once the
+// drain advances past the truncated segment it is guaranteed to see the
+// flag and visit nothing further — the visitor receives a coherent prefix
+// of the serial order even though segments past the truncation point (other
+// workers' subtrees, previously donated ranges) still drain.
 func (e *incEnum) checkDeadline() {
 	if e.ext != nil && e.ext.Load() {
 		e.stopped = true
@@ -796,6 +947,9 @@ func (e *incEnum) checkDeadline() {
 	if time.Now().After(e.opt.Deadline) {
 		e.stats.TimedOut = true
 		e.stopped = true
+		if e.ext != nil {
+			e.ext.Store(true)
+		}
 	}
 }
 
@@ -811,6 +965,7 @@ func (e *incEnum) checkCut(depth, oTopo, ninLeft, noutLeft int) {
 	if e.stopped {
 		return
 	}
+	e.maybeSplit()
 	e.stats.Candidates++
 	realOuts := e.dval.NumOutputs()
 	if realOuts <= e.opt.MaxOutputs && !e.S.Empty() && !e.S.Intersects(e.g.ForbiddenSet()) {

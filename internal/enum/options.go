@@ -86,20 +86,30 @@ type Options struct {
 	// the serial paper algorithm, and any larger value is taken literally
 	// (oversubscribing GOMAXPROCS is allowed).
 	//
-	// Determinism contract: at ANY worker count the visitor receives
-	// exactly the cuts a serial run would produce, in exactly the serial
-	// order, including the same prefix when the visitor stops early —
-	// selection built on the enumeration is bit-for-bit reproducible
-	// regardless of parallelism. The differential harness and the pinned
-	// sequence digests of the gap-regression corpus enforce this. The only
-	// observable difference is Stats attribution: a candidate repeated
-	// across two subtrees is re-validated by the second shard instead of
-	// being caught by the serial run's global dedup, so mass can shift
-	// between Duplicates and Invalid (their sum, and every other counter,
-	// is preserved; see internal/enum/parallel.go). Corpus-level drivers
-	// (internal/bench, cmd/compare) reuse the same knob to shard across
-	// basic blocks instead. Use Parallelism=1 to reproduce the paper's
-	// serial numbers.
+	// Workers start on first-output subtrees and then re-balance by
+	// stealing interior next-output ranges from busy peers, so skewed
+	// subtree sizes no longer bound the speedup (see
+	// internal/enum/parallel.go).
+	//
+	// Determinism contract: at ANY worker count, under ANY steal schedule,
+	// the visitor receives exactly the cuts a serial run would produce, in
+	// exactly the serial order, including the same prefix when the visitor
+	// stops early — selection built on the enumeration is bit-for-bit
+	// reproducible regardless of parallelism. The differential harness and
+	// the pinned sequence digests of the gap-regression corpus enforce
+	// this. Stats are NOT part of that contract. For runs that complete,
+	// Valid, Candidates, LTRuns, OutputsTried and SeedsPruned match the
+	// serial run exactly and only attribution can shift between Duplicates
+	// and Invalid (their sum is preserved): a candidate repeated across
+	// two dedup scopes is re-validated instead of being caught by the
+	// serial run's global dedup. After an early visitor stop the work
+	// counters are NOT preserved — workers already past the stopped prefix
+	// report Candidates/OutputsTried/etc. a serial run would never have
+	// started, and only Valid is exact: it counts precisely the cuts the
+	// visitor received. Steals is scheduling-dependent and zero in serial
+	// runs. Corpus-level drivers (internal/bench, cmd/compare) reuse the
+	// same knob to shard across basic blocks instead. Use Parallelism=1 to
+	// reproduce the paper's serial numbers.
 	Parallelism int
 
 	// ConnectedOnly restricts the search to connected cuts (definition 4),
@@ -194,5 +204,6 @@ type Stats struct {
 	LTRuns       int  // reduced-graph dominator analyses performed
 	SeedsPruned  int  // seed vertices skipped by §5.3 prunings
 	OutputsTried int  // output choices explored
+	Steals       int  // stolen interior ranges executed (0 in serial runs)
 	TimedOut     bool // the run hit Options.Deadline and stopped early
 }

@@ -130,3 +130,133 @@ func TestParallelVisitorGetsOwnedCuts(t *testing.T) {
 		t.Fatal("expected cuts")
 	}
 }
+
+// TestParallelEarlyStopValidCount is the regression test for the Stats.Valid
+// overcount after an early visitor stop: the merge used to keep counting
+// distinct cuts drained after the stop, so Valid exceeded the number of cuts
+// actually reported. Valid must equal exactly the cuts the visitor received
+// — including the one it stopped on — at any worker count, matching the
+// serial semantics.
+func TestParallelEarlyStopValidCount(t *testing.T) {
+	g := workload.MiBenchLike(rand.New(rand.NewSource(3)), 60, workload.DefaultProfile())
+	sopt := enum.DefaultOptions()
+	sopt.Parallelism = 1
+	total := len(visitSequence(g, sopt))
+	if total < 10 {
+		t.Fatalf("reference graph yields only %d cuts; pick a richer seed", total)
+	}
+	for _, workers := range []int{1, 4, g.N()} {
+		for _, k := range []int{1, 3, total / 2} {
+			opt := enum.DefaultOptions()
+			opt.Parallelism = workers
+			visited := 0
+			stats := enum.Enumerate(g, opt, func(enum.Cut) bool {
+				visited++
+				return visited < k
+			})
+			if visited != k {
+				t.Fatalf("workers=%d k=%d: visitor ran %d times", workers, k, visited)
+			}
+			if stats.Valid != k {
+				t.Fatalf("workers=%d k=%d: Stats.Valid = %d, want exactly the %d visited cuts",
+					workers, k, stats.Valid, k)
+			}
+		}
+	}
+}
+
+// TestParallelWorkerClampAllocs pins the worker clamp: asking for far more
+// workers than there are first-output positions must not multiply the
+// one-time per-worker setup (validator, traverser, scratch buffers), because
+// the extra states could never hold distinct top-level work — load imbalance
+// is work-stealing's job, not oversharding's.
+func TestParallelWorkerClampAllocs(t *testing.T) {
+	g := workload.MiBenchLike(rand.New(rand.NewSource(7)), 24, workload.DefaultProfile())
+	run := func(workers int) float64 {
+		opt := enum.DefaultOptions()
+		opt.Parallelism = workers
+		return testing.AllocsPerRun(5, func() {
+			enum.Enumerate(g, opt, func(enum.Cut) bool { return true })
+		})
+	}
+	base := run(g.N())
+	over := run(4 * g.N())
+	// Identical worker counts after clamping should allocate near-identically;
+	// 1.3× absorbs scheduling noise (steal tasks allocate a little).
+	if over > 1.3*base {
+		t.Fatalf("workers=4n allocates %.0f/op vs %.0f/op at workers=n — clamp to min(workers, n) ineffective",
+			over, base)
+	}
+}
+
+// TestParallelStealForced runs the enumeration in the configuration where
+// interior work-stealing is the only load-balancing mechanism left: one
+// worker per first-output position, so every worker exhausts the top-level
+// claims after a single subtree and all remaining balance comes from stolen
+// next-output ranges. The visit sequence must still be bit-for-bit serial,
+// and across the corpus at least one steal must actually occur (the
+// aggregate assertion keeps the test robust against scheduling luck on any
+// single instance).
+func TestParallelStealForced(t *testing.T) {
+	steals := 0
+	for seed := int64(1); seed <= 4; seed++ {
+		g := workload.MiBenchLike(rand.New(rand.NewSource(seed)), 70, workload.DefaultProfile())
+		sopt := enum.DefaultOptions()
+		sopt.Parallelism = 1
+		serial := visitSequence(g, sopt)
+
+		popt := enum.DefaultOptions()
+		popt.Parallelism = g.N()
+		popt.KeepCuts = true
+		var par []string
+		stats := enum.Enumerate(g, popt, func(c enum.Cut) bool {
+			par = append(par, c.String())
+			return true
+		})
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("seed=%d workers=n: steal-forced sequence diverges (%d vs %d cuts)",
+				seed, len(par), len(serial))
+		}
+		steals += stats.Steals
+	}
+	if steals == 0 {
+		t.Fatal("no steal occurred across the corpus at workers=n — the stealing path is dead")
+	}
+}
+
+// TestParallelStealEarlyStop combines the two stress axes: a visitor that
+// stops mid-stream while stealing is forced. The stopped prefix must be the
+// serial prefix exactly, and Valid must count exactly the visited cuts.
+func TestParallelStealEarlyStop(t *testing.T) {
+	g := workload.MiBenchLike(rand.New(rand.NewSource(2)), 70, workload.DefaultProfile())
+	sopt := enum.DefaultOptions()
+	sopt.Parallelism = 1
+	serial := visitSequence(g, sopt)
+	if len(serial) < 8 {
+		t.Fatalf("reference graph yields only %d cuts", len(serial))
+	}
+	for _, k := range []int{2, len(serial) / 2} {
+		opt := enum.DefaultOptions()
+		opt.Parallelism = g.N()
+		opt.KeepCuts = true
+		var got []string
+		done := make(chan enum.Stats, 1)
+		go func() {
+			done <- enum.Enumerate(g, opt, func(c enum.Cut) bool {
+				got = append(got, c.String())
+				return len(got) < k
+			})
+		}()
+		select {
+		case stats := <-done:
+			if !reflect.DeepEqual(got, serial[:k]) {
+				t.Fatalf("k=%d: steal-forced stopped prefix diverges from serial", k)
+			}
+			if stats.Valid != k {
+				t.Fatalf("k=%d: Stats.Valid = %d, want %d", k, stats.Valid, k)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatalf("k=%d: steal-forced early stop did not terminate", k)
+		}
+	}
+}

@@ -69,7 +69,10 @@ func TestGapRegressionSequenceIdentity(t *testing.T) {
 				t.Fatalf("%s: sequence digest %#016x, pinned %#016x — the enumeration changed; "+
 					"if intentional, update the pin and record why in EXPERIMENTS.md", gi.Name, got, pinnedSeq[gi.Name])
 			}
-			for _, workers := range []int{2, 5} {
+			// workers=g.N() is the steal-forced schedule: one worker per
+			// first-output position, so every load-balancing decision is an
+			// interior steal — the digest must still match bit-for-bit.
+			for _, workers := range []int{2, 5, g.N()} {
 				popt := opt
 				popt.Parallelism = workers
 				if par := visitSequence(g, popt); !reflect.DeepEqual(serial, par) {

@@ -190,3 +190,296 @@ func TestOrderedLazyAllocation(t *testing.T) {
 		t.Fatalf("%d channels still live after Drain, want 0 (streams must be released)", got)
 	}
 }
+
+// TestOrderedEarlyTerminatingConsumer pins the early-termination contract
+// stated on Drain: a consumer that loses interest must keep draining
+// (discarding) rather than return, and doing so lets every producer —
+// including ones blocked on a full buffer — run to completion. The buffers
+// are tiny and the producers emit far more than the consumer wants, so a
+// consumer that actually stopped would deadlock the test.
+func TestOrderedEarlyTerminatingConsumer(t *testing.T) {
+	const n, perIndex, wantOnly = 64, 50, 5
+	ord := NewOrdered[int](n, 1)
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idx := int(next.Add(1)) - 1
+				if idx >= n {
+					return
+				}
+				for k := 0; k < perIndex; k++ {
+					ord.Emit(idx, idx*perIndex+k)
+				}
+				ord.Close(idx)
+			}
+		}()
+	}
+	kept := []int{}
+	total := 0
+	ord.Drain(func(v int) {
+		total++
+		if len(kept) < wantOnly { // "stopped" consumer: discard the rest
+			kept = append(kept, v)
+		}
+	})
+	wg.Wait()
+	if total != n*perIndex {
+		t.Fatalf("drained %d values, want %d — producers were stranded", total, n*perIndex)
+	}
+	for i, v := range kept {
+		if v != i {
+			t.Fatalf("prefix position %d: got %d, want %d", i, v, i)
+		}
+	}
+}
+
+// TestOrderedAscendingClaimNoStarvation is the lowest-unclosed-index
+// starvation guard: under the mandated ascending-claim discipline, workers
+// that park on high indices (tiny buffers, the drain frontier far behind)
+// can never starve the lowest unclosed index, because its producer either
+// exists or will be the next claim of whoever finishes first. The claim
+// order is steal-shaped on purpose — a worker grabs a new index the moment
+// it finishes one, so late indices are claimed while early ones are still
+// emitting — and the whole run is bounded by a watchdog so a starvation
+// bug fails fast instead of hanging the suite.
+func TestOrderedAscendingClaimNoStarvation(t *testing.T) {
+	const n, perIndex = 200, 9
+	ord := NewOrdered[int](n, 1) // 1-slot buffers: maximal blocking pressure
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				idx := int(next.Add(1)) - 1
+				if idx >= n {
+					return
+				}
+				// Invert completion speed: early indices are slow, so high
+				// indices pile up blocked ahead of the frontier.
+				if idx < 8 {
+					time.Sleep(time.Duration(8-idx) * time.Millisecond)
+				}
+				for k := 0; k < perIndex; k++ {
+					ord.Emit(idx, idx)
+				}
+				ord.Close(idx)
+			}
+		}(w)
+	}
+	done := make(chan []int, 1)
+	go func() {
+		var got []int
+		ord.Drain(func(v int) { got = append(got, v) })
+		done <- got
+	}()
+	select {
+	case got := <-done:
+		if len(got) != n*perIndex {
+			t.Fatalf("drained %d values, want %d", len(got), n*perIndex)
+		}
+		for j, v := range got {
+			if v != j/perIndex {
+				t.Fatalf("position %d: got %d, want %d — index order violated", j, v, j/perIndex)
+			}
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("drain starved: lowest unclosed index never progressed")
+	}
+	wg.Wait()
+}
+
+// TestSplitOrderedWithoutSplitsMatchesOrdered checks the degenerate case:
+// with no Split calls, SplitOrdered is exactly Ordered — per-index streams
+// merged in index order, empty segments skipped, lazy channels released.
+func TestSplitOrderedWithoutSplitsMatchesOrdered(t *testing.T) {
+	const n = 40
+	o := NewSplitOrdered[int](n, 2)
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < 5; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if i%3 != 0 { // leave every third segment empty
+					o.Emit(o.Top(i), 2*i)
+					o.Emit(o.Top(i), 2*i+1)
+				}
+				o.Close(o.Top(i))
+			}
+		}()
+	}
+	var got []int
+	o.Drain(func(v int) { got = append(got, v) })
+	wg.Wait()
+	want := []int{}
+	for i := 0; i < n; i++ {
+		if i%3 != 0 {
+			want = append(want, 2*i, 2*i+1)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("drained %d values, want %d", len(got), len(want))
+	}
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("position %d: got %d, want %d", j, got[j], want[j])
+		}
+	}
+}
+
+// TestSplitOrderedSpliceOrder pins the list semantics of Split with a
+// single deterministic producer: values emitted into the donor's segment
+// before AND after the split precede the stolen segment's values only when
+// emitted before — after the split the donor's current segment still drains
+// first (its remaining values serially precede the donated tail), then the
+// stolen segment, then the resume segment, then later top segments. Also
+// covers a re-split of the same segment: the second splice lands closer to
+// the donor than the first, and the intermediate resume segment may close
+// empty.
+func TestSplitOrderedSpliceOrder(t *testing.T) {
+	o := NewSplitOrdered[string](3, 16)
+	s0, s1, s2 := o.Top(0), o.Top(1), o.Top(2)
+	o.Emit(s0, "s0")
+	o.Close(s0)
+
+	o.Emit(s1, "a")
+	stolen1, resume1 := o.Split(s1)
+	o.Emit(s1, "b") // donor's remaining work: still ahead of the stolen tail
+	stolen2, resume2 := o.Split(s1)
+	o.Emit(s1, "c")
+	o.Close(s1)
+	// Thieves fill the stolen segments (order of fill is irrelevant).
+	o.Emit(stolen2, "near-tail")
+	o.Close(stolen2)
+	o.Emit(stolen1, "far-tail")
+	o.Close(stolen1)
+	// Donor walks its resume chain: the intermediate resume closes empty.
+	o.Close(resume2)
+	o.Emit(resume1, "after")
+	o.Close(resume1)
+
+	o.Emit(s2, "s2")
+	o.Close(s2)
+
+	var got []string
+	o.Drain(func(v string) { got = append(got, v) })
+	want := []string{"s0", "a", "b", "c", "near-tail", "far-tail", "after", "s2"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSplitOrderedConcurrentRecursiveSplits is the stress version: every
+// top segment logically owns the value range [0, M), and producers
+// recursively donate the upper half of their remaining range to freshly
+// spawned thief goroutines (each stolen segment has a live owner from
+// birth, per the protocol), which may split again. Split decisions depend
+// on scheduling only through WHERE the splits land, never on the merged
+// sequence, which must come out exactly as the serial nested loop — under
+// -race this is the package-level model of the enumeration's interior
+// work-stealing.
+func TestSplitOrderedConcurrentRecursiveSplits(t *testing.T) {
+	const n, m = 24, 48
+	o := NewSplitOrdered[[2]int](n, 2)
+	var wg sync.WaitGroup
+	// produce emits [lo, hi) of segment index i's range into seg, donating
+	// upper halves along the way whenever the deterministic coin says so.
+	var produce func(seg *Seg[[2]int], i, lo, hi, depth int)
+	produce = func(seg *Seg[[2]int], i, lo, hi, depth int) {
+		defer wg.Done()
+		for j := lo; j < hi; j++ {
+			if hi-j >= 2 && (i+j+depth)%3 == 0 {
+				mid := j + (hi-j+1)/2
+				stolen, resume := o.Split(seg)
+				wg.Add(1)
+				go produce(stolen, i, mid, hi, depth+1)
+				hi = mid
+				// This producer has nothing to emit past its range, so every
+				// resume segment closes empty; the deferred closes run LIFO
+				// (innermost donation first), mirroring the unwind order of
+				// the enumeration's popRangeSegs.
+				defer o.Close(resume)
+			}
+			o.Emit(seg, [2]int{i, j})
+			time.Sleep(time.Duration((i*7+j*13)%3) * time.Microsecond)
+		}
+		o.Close(seg)
+	}
+	var next atomic.Int64
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				wg.Add(1)
+				produce(o.Top(i), i, 0, m, 0)
+			}
+		}()
+	}
+	var got [][2]int
+	o.Drain(func(v [2]int) { got = append(got, v) })
+	wg.Wait()
+	if len(got) != n*m {
+		t.Fatalf("drained %d values, want %d", len(got), n*m)
+	}
+	for p, v := range got {
+		if want := [2]int{p / m, p % m}; v != want {
+			t.Fatalf("position %d: got %v, want %v — splice order broken", p, v, want)
+		}
+	}
+}
+
+// TestSplitOrderedEarlyDiscard mirrors the Ordered early-termination test
+// for the splittable merge: a consumer that discards after a prefix still
+// drains every segment, including ones spliced in mid-drain.
+func TestSplitOrderedEarlyDiscard(t *testing.T) {
+	const n = 16
+	o := NewSplitOrdered[int](n, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			seg := o.Top(i)
+			o.Emit(seg, i)
+			stolen, resume := o.Split(seg)
+			o.Emit(seg, i)
+			o.Close(seg)
+			o.Emit(stolen, i)
+			o.Close(stolen)
+			o.Emit(resume, i)
+			o.Close(resume)
+		}
+	}()
+	total, kept := 0, 0
+	o.Drain(func(v int) {
+		total++
+		if v < 2 {
+			kept++
+		}
+	})
+	wg.Wait()
+	if total != 4*n {
+		t.Fatalf("drained %d values, want %d", total, 4*n)
+	}
+}
