@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race diff-oracle diff-oracle-quick docs-check bench bench-json bench-json-quick bench-gate bench-scaling profile fuzz ci
+.PHONY: build vet test test-race chaos diff-oracle diff-oracle-quick docs-check bench bench-json bench-json-quick bench-gate bench-scaling profile fuzz ci
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,16 @@ test: build vet
 test-race:
 	$(GO) test -race -short ./internal/parallel/ ./internal/enum/ ./internal/bench/
 	$(GO) test -race -run 'Parallel|Corpus' .
+
+# Fail-safe certification: the deterministic fault-injection sweep
+# (internal/enum chaos_test.go, failure_test.go; internal/faultinject) under
+# the race detector. Every injected panic, delay, forced fallback, budget
+# hit and cancellation must end in a bit-identical serial prefix or a clean
+# typed error — the hard -timeout turns any hang into a failure instead of
+# a stuck CI job.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestFailure' ./internal/enum/ -timeout 10m -count 1
+	$(GO) test -race ./internal/faultinject/ -timeout 2m -count 1
 
 # Mid-size completeness evidence: diff the polynomial enumeration against
 # the pruned-exhaustive oracle on the pinned gap instances (n=140/seed 5 →
@@ -97,4 +107,4 @@ profile:
 fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/graphio/
 
-ci: test test-race docs-check diff-oracle-quick bench-gate
+ci: test test-race chaos docs-check diff-oracle-quick bench-gate

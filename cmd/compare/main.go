@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"polyise/internal/bench"
@@ -38,6 +40,12 @@ func main() {
 	)
 	flag.Parse()
 
+	// SIGINT cancels every in-flight measurement through the context path:
+	// each run drains cleanly and reports itself stopped-early, the tables
+	// computed so far still print, and the process exits nonzero.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
 	opt := enum.DefaultOptions()
 	if *paper {
 		opt = enum.PaperOptions()
@@ -46,6 +54,7 @@ func main() {
 	opt.MaxOutputs = *nout
 	opt.KeepCuts = false
 	opt.Parallelism = *par
+	opt.Context = ctx
 
 	switch *mode {
 	case "figure5":
@@ -86,6 +95,11 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "compare: unknown mode %q\n", *mode)
 		os.Exit(2)
+	}
+
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "compare: interrupted; measurements after the signal are partial (flagged as timeouts)")
+		os.Exit(130)
 	}
 }
 

@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"polyise/internal/dfg"
@@ -54,12 +56,19 @@ func main() {
 		fatal(err)
 	}
 
+	// SIGINT cancels the enumeration through the context path: the run
+	// drains cleanly, the partial stats print with their stop reason, and
+	// the process exits nonzero instead of dying mid-run.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
 	opt := enum.DefaultOptions()
 	opt.MaxInputs = *nin
 	opt.MaxOutputs = *nout
 	opt.ConnectedOnly = *connected
 	opt.MaxDepth = *maxDepth
 	opt.Parallelism = *par
+	opt.Context = ctx
 	if *timeout > 0 {
 		opt.Deadline = time.Now().Add(*timeout)
 	}
@@ -73,14 +82,24 @@ func main() {
 	fmt.Printf("constraint: Nin=%d Nout=%d connected=%v\n", *nin, *nout, *connected)
 	fmt.Printf("valid cuts: %d   (candidates %d, duplicates %d, analyses %d) in %v\n",
 		stats.Valid, stats.Candidates, stats.Duplicates, stats.LTRuns, dur)
-	if stats.TimedOut {
-		fmt.Println("WARNING: enumeration timed out; results are partial")
+	if stats.Err != nil {
+		fatal(stats.Err)
+	}
+	if stats.StopReason != enum.StopNone {
+		fmt.Printf("WARNING: enumeration stopped early (%v); results are partial\n", stats.StopReason)
 	}
 
 	if *list {
 		for _, c := range cuts {
 			fmt.Println(" ", c)
 		}
+	}
+
+	if stats.StopReason == enum.StopCanceled {
+		// Interrupted: the partial stats (and cut list, if requested) are
+		// printed; selection and reports over a truncated cut set would be
+		// misleading, so stop here with the conventional SIGINT status.
+		os.Exit(130)
 	}
 
 	est := ise.NewEstimator(g, ise.DefaultModel())

@@ -1,8 +1,6 @@
 package baseline
 
 import (
-	"time"
-
 	"polyise/internal/bitset"
 	"polyise/internal/dfg"
 	"polyise/internal/enum"
@@ -27,6 +25,7 @@ func AtasuSearch(g *dfg.Graph, opt enum.Options, visit func(enum.Cut) bool) enum
 		opt:   opt,
 		visit: visit,
 		val:   enum.NewValidator(g, opt),
+		stop:  enum.NewStopper(opt),
 		state: make([]int8, g.N()),
 		S:     bitset.New(g.N()),
 	}
@@ -53,16 +52,16 @@ type atasu struct {
 	inCount  int
 	outCount int // fixed outputs: all successors are decided in this order
 	stopped  bool
-	tick     uint32
+	// stop is the shared cancel/deadline primitive (enum.Stopper), the same
+	// one package enum polls — cancellation semantics cannot drift between
+	// poly and oracle runs.
+	stop enum.Stopper
 }
 
 func (s *atasu) walk(pos int) {
-	if !s.opt.Deadline.IsZero() {
-		s.tick++
-		if s.tick&0x3fff == 0 && time.Now().After(s.opt.Deadline) {
-			s.stats.TimedOut = true
-			s.stopped = true
-		}
+	if r := s.stop.Poll(); r != enum.StopNone {
+		s.stats.RecordStop(r)
+		s.stopped = true
 	}
 	if s.stopped {
 		return
@@ -125,6 +124,7 @@ func (s *atasu) leaf() {
 		cut.Nodes = cut.Nodes.Clone()
 	}
 	if !s.visit(cut) {
+		s.stats.RecordStop(enum.StopVisitor)
 		s.stopped = true
 	}
 }

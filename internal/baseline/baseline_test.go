@@ -1,6 +1,7 @@
 package baseline_test
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -11,12 +12,24 @@ import (
 
 func TestBruteForceRefusesLargeGraphs(t *testing.T) {
 	g := workload.Chain(40)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for >30 eligible vertices")
-		}
-	}()
-	baseline.BruteForce(g, enum.DefaultOptions(), func(enum.Cut) bool { return true })
+	called := false
+	stats := baseline.BruteForce(g, enum.DefaultOptions(), func(enum.Cut) bool {
+		called = true
+		return true
+	})
+	var tle *baseline.TooLargeError
+	if !errors.As(stats.Err, &tle) {
+		t.Fatalf("Stats.Err = %v, want *TooLargeError for >30 eligible vertices", stats.Err)
+	}
+	if tle.Eligible <= tle.Max {
+		t.Fatalf("TooLargeError reports Eligible=%d <= Max=%d", tle.Eligible, tle.Max)
+	}
+	if stats.StopReason != enum.StopError {
+		t.Fatalf("StopReason = %v, want %v", stats.StopReason, enum.StopError)
+	}
+	if called {
+		t.Fatal("visitor was called despite the refusal")
+	}
 }
 
 func TestBruteForceEarlyStop(t *testing.T) {

@@ -23,18 +23,38 @@
 package baseline
 
 import (
+	"fmt"
+
 	"polyise/internal/bitset"
 	"polyise/internal/dfg"
 	"polyise/internal/enum"
 )
 
+// TooLargeError reports a graph BruteForce refuses to enumerate: the 2^n
+// subset sweep is only ground truth while it terminates. It is a typed
+// error (carried in Stats.Err, StopReason = StopError) rather than a panic,
+// so oracle drivers can report the refusal instead of crashing.
+type TooLargeError struct {
+	Eligible int // eligible (non-forbidden) vertices in the graph
+	Max      int // the sweep's eligible-vertex ceiling
+}
+
+func (e *TooLargeError) Error() string {
+	return fmt.Sprintf("baseline: BruteForce limited to %d eligible vertices (graph has %d)", e.Max, e.Eligible)
+}
+
+// bruteForceMaxEligible caps the subset sweep at 2^30 candidates.
+const bruteForceMaxEligible = 30
+
 // BruteForce enumerates every subset of the eligible vertices (at most 2^n
 // candidates) and validates each against the §3 problem statement. It is
-// the ground truth used by the test suite; usable only for small graphs.
-// The visitor may return false to stop early.
+// the ground truth used by the test suite; usable only for small graphs —
+// beyond 30 eligible vertices it refuses with a *TooLargeError in
+// Stats.Err. The visitor may return false to stop early.
 func BruteForce(g *dfg.Graph, opt enum.Options, visit func(enum.Cut) bool) enum.Stats {
 	var stats enum.Stats
 	val := enum.NewValidator(g, opt)
+	stop := enum.NewStopper(opt)
 	n := g.N()
 	// Eligible vertices: anything not forbidden and not a root.
 	var elig []int
@@ -43,11 +63,17 @@ func BruteForce(g *dfg.Graph, opt enum.Options, visit func(enum.Cut) bool) enum.
 			elig = append(elig, v)
 		}
 	}
-	if len(elig) > 30 {
-		panic("baseline: BruteForce limited to 30 eligible vertices")
+	if len(elig) > bruteForceMaxEligible {
+		stats.Err = &TooLargeError{Eligible: len(elig), Max: bruteForceMaxEligible}
+		stats.RecordStop(enum.StopError)
+		return stats
 	}
 	S := bitset.New(n)
 	for mask := uint64(1); mask < 1<<uint(len(elig)); mask++ {
+		if r := stop.Poll(); r != enum.StopNone {
+			stats.RecordStop(r)
+			return stats
+		}
 		S.Clear()
 		for i, v := range elig {
 			if mask&(1<<uint(i)) != 0 {
@@ -65,6 +91,7 @@ func BruteForce(g *dfg.Graph, opt enum.Options, visit func(enum.Cut) bool) enum.
 			cut.Nodes = cut.Nodes.Clone()
 		}
 		if !visit(cut) {
+			stats.RecordStop(enum.StopVisitor)
 			return stats
 		}
 	}

@@ -26,7 +26,13 @@ type OracleReport struct {
 	N          int  // vertex count of the instance
 	PolyCuts   int  // valid cuts reported by enum.Enumerate
 	PrunedCuts int  // valid cuts reported by PrunedSearch
-	TimedOut   bool // either run hit the budget: counts are partial, no verdict
+	TimedOut   bool // either run stopped early (deadline, cancel, budget): counts partial, no verdict
+
+	// Err carries the first error of either run — a contained panic, a
+	// handoff stall, or a baseline refusal such as *TooLargeError — making
+	// the comparison inconclusive for a reportable reason instead of a
+	// crash.
+	Err error
 
 	// Missing and Extra hold example cut signatures present in exactly one
 	// of the two enumerations (each capped at OracleMaxExamples);
@@ -55,15 +61,18 @@ const OracleMaxExamples = 10
 // Agree reports whether the comparison ran to completion with identical
 // cut sets.
 func (r OracleReport) Agree() bool {
-	return !r.TimedOut && r.MissingTotal == 0 && r.ExtraTotal == 0
+	return !r.TimedOut && r.Err == nil && r.MissingTotal == 0 && r.ExtraTotal == 0
 }
 
 // String renders the report in one line for logs, with diagnostic detail
 // only on disagreement.
 func (r OracleReport) String() string {
 	s := fmt.Sprintf("%s: poly=%d pruned=%d", r.Name, r.PolyCuts, r.PrunedCuts)
+	if r.Err != nil {
+		return s + fmt.Sprintf(" (error: %v: inconclusive)", r.Err)
+	}
 	if r.TimedOut {
-		return s + " (timed out: inconclusive)"
+		return s + " (stopped early: inconclusive)"
 	}
 	if r.Agree() {
 		return s + " (agree)"
@@ -108,7 +117,14 @@ func DiffOracle(name string, g *dfg.Graph, opt enum.Options, budget time.Duratio
 	}
 	pruned, rs := CollectPruned(g, opt)
 	rep.PolyCuts, rep.PrunedCuts = len(poly), len(pruned)
-	if ps.TimedOut || rs.TimedOut {
+	if ps.Err != nil {
+		rep.Err = ps.Err
+	} else if rs.Err != nil {
+		rep.Err = rs.Err
+	}
+	// Any early stop — deadline, cancellation, budget, error — leaves the
+	// counts partial: no verdict.
+	if ps.StopReason != enum.StopNone || rs.StopReason != enum.StopNone {
 		rep.TimedOut = true
 		return rep
 	}
@@ -166,7 +182,7 @@ func (r *OracleReport) triage(g *dfg.Graph, opt enum.Options, poly, missing []en
 		opt.Deadline = time.Now().Add(budget)
 	}
 	basic, bs := enum.CollectBasic(g, opt)
-	if bs.TimedOut {
+	if bs.StopReason != enum.StopNone {
 		return
 	}
 	basicHave := make(map[string]bool, len(basic))

@@ -1,8 +1,6 @@
 package baseline
 
 import (
-	"time"
-
 	"polyise/internal/bitset"
 	"polyise/internal/dfg"
 	"polyise/internal/enum"
@@ -41,6 +39,7 @@ func PrunedSearch(g *dfg.Graph, opt enum.Options, visit func(enum.Cut) bool) enu
 		opt:        opt,
 		visit:      visit,
 		val:        enum.NewValidator(g, opt),
+		stop:       enum.NewStopper(opt),
 		state:      make([]int8, g.N()),
 		bad:        make([]bool, g.N()),
 		isInput:    make([]bool, g.N()),
@@ -87,16 +86,16 @@ type pruned struct {
 	outCount    int // fixed outputs among included vertices
 	fixedInputs int // excluded vertices feeding the cut
 	stopped     bool
-	tick        uint32
+	// stop is the shared cancel/deadline primitive (enum.Stopper), the same
+	// one package enum polls — cancellation semantics cannot drift between
+	// poly and oracle runs.
+	stop enum.Stopper
 }
 
 func (s *pruned) walk(pos int) {
-	if !s.opt.Deadline.IsZero() {
-		s.tick++
-		if s.tick&0x3fff == 0 && time.Now().After(s.opt.Deadline) {
-			s.stats.TimedOut = true
-			s.stopped = true
-		}
+	if r := s.stop.Poll(); r != enum.StopNone {
+		s.stats.RecordStop(r)
+		s.stopped = true
 	}
 	if s.stopped {
 		return
@@ -291,6 +290,7 @@ func (s *pruned) leaf() {
 		cut.Nodes = cut.Nodes.Clone()
 	}
 	if !s.visit(cut) {
+		s.stats.RecordStop(enum.StopVisitor)
 		s.stopped = true
 	}
 }

@@ -86,7 +86,10 @@ func Run(alg Algorithm, g *dfg.Graph, opt enum.Options, budget time.Duration) Me
 		Algorithm: alg,
 		Cuts:      cuts,
 		Duration:  time.Since(start),
-		TimedOut:  stats.TimedOut,
+		// Any early stop — deadline, opt.Context cancellation (the SIGINT
+		// path of cmd/compare), budget — leaves the point partial and must
+		// be flagged so it is excluded from fits.
+		TimedOut: stats.StopReason != enum.StopNone,
 	}
 }
 

@@ -93,6 +93,18 @@ func (s *DigestSet) Insert(k [2]uint64) bool {
 	return true
 }
 
+// Bytes reports the memory footprint of the backing table: 16 bytes per
+// slot. It is the quantity Options.MaxDedupBytes budgets.
+func (s *DigestSet) Bytes() int { return len(s.slots) * 16 }
+
+// WouldGrowPast reports whether inserting one more absent key would double
+// the backing table beyond maxBytes. Callers enforcing a memory budget test
+// this BEFORE Insert: when it reports true the table is at its last
+// affordable size and the run must degrade instead of growing.
+func (s *DigestSet) WouldGrowPast(maxBytes int) bool {
+	return 4*(s.n+1) >= 3*len(s.slots) && 2*len(s.slots)*16 > maxBytes
+}
+
 // Len returns the number of distinct keys inserted.
 func (s *DigestSet) Len() int {
 	if s.hasZero {

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 
 	"polyise/internal/bitset"
+	"polyise/internal/faultinject"
 )
 
 // This file implements the delta-maintenance kernels of the incremental
@@ -117,7 +118,7 @@ func (t *Traverser) GrowCut(S, delta *bitset.Set, o int, inputs *bitset.Set) {
 	})
 	unc.Intersect(cn)
 
-	if unc.Count()*growFallbackDen > cn.Count()*growFallbackNum {
+	if faultinject.ForcedFallback() || unc.Count()*growFallbackDen > cn.Count()*growFallbackNum {
 		// Mostly-blocked cone: the confined recomputation would touch nearly
 		// every candidate anyway. Traverse backward from o through the
 		// unblocked part of the cone, skipping vertices already in S.
@@ -171,7 +172,7 @@ func (t *Traverser) ShrinkCut(S, removed *bitset.Set, w int, outs []int, outSet,
 	region := t.region
 	region.CopyIntersect(g.reachTo[w], S) // removal candidates besides w itself
 
-	if region.Count()*shrinkFallbackDen > S.Count()*shrinkFallbackNum {
+	if faultinject.ForcedFallback() || region.Count()*shrinkFallbackDen > S.Count()*shrinkFallbackNum {
 		// Non-monotone worst case: most of S is upstream of w, so the
 		// confined recomputation would touch nearly everything. Rebuild
 		// from scratch (the reference semantics) and diff for the journal.
@@ -231,7 +232,7 @@ func (t *Traverser) ShrinkReachInto(dst, src *bitset.Set, o, w int, inputs *bits
 	region := t.region
 	region.CopyIntersect(g.reachTo[w], src) // removal candidates besides w itself
 
-	if region.Count()*shrinkFallbackDen > src.Count()*shrinkFallbackNum {
+	if faultinject.ForcedFallback() || region.Count()*shrinkFallbackDen > src.Count()*shrinkFallbackNum {
 		t.seed1[0] = o
 		t.ReachBackwardAvoiding(dst, t.seed1[:], inputs, src)
 		return

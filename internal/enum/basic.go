@@ -1,6 +1,8 @@
 package enum
 
 import (
+	"runtime/debug"
+
 	"polyise/internal/bitset"
 	"polyise/internal/dfg"
 	"polyise/internal/domtree"
@@ -31,10 +33,24 @@ func EnumerateBasic(g *dfg.Graph, opt Options, visit func(Cut) bool) Stats {
 		scratch: bitset.New(g.N()),
 		outTest: bitset.New(g.N()),
 	}
+	e.stop = NewStopper(opt)
 	pds := domtree.ReverseSolver(g)
 	pds.Run(nil)
 	e.pdt = pds.BuildTree()
-	e.doEnum(-1, opt.MaxOutputs)
+	func() {
+		// Same failure semantics as Enumerate's serial path: a panic in
+		// the search or the visitor becomes Stats.Err + StopError, with
+		// the cuts already visited a coherent prefix.
+		defer func() {
+			if v := recover(); v != nil {
+				if e.stats.Err == nil {
+					e.stats.Err = &PanicError{Value: v, Stack: debug.Stack()}
+				}
+				e.stats.RecordStop(StopError)
+			}
+		}()
+		e.doEnum(-1, opt.MaxOutputs)
+	}()
 	return e.stats
 }
 
@@ -57,6 +73,16 @@ type basicEnum struct {
 	scratch *bitset.Set
 	outTest *bitset.Set
 	stopped bool
+	stop    Stopper // shared cancel/deadline poll primitive (stop.go)
+}
+
+// checkStop polls the run's stop sources (Options.Context, Options.Deadline)
+// through the shared Stopper, mirroring the incremental search's checkStop.
+func (e *basicEnum) checkStop() {
+	if r := e.stop.Poll(); r != StopNone {
+		e.stats.RecordStop(r)
+		e.stopped = true
+	}
 }
 
 // domsOf returns the generalized dominators of o with ≤ MaxInputs members.
@@ -85,6 +111,7 @@ func (e *basicEnum) admissibleOutput(o int) bool {
 }
 
 func (e *basicEnum) doEnum(lastOut, noutLeft int) {
+	e.checkStop()
 	if e.stopped {
 		return
 	}
@@ -141,6 +168,10 @@ func (e *basicEnum) tryDominator(D []int) bool {
 // checkCandidate applies figure 2's validity test — O(S) must equal the
 // chosen outputs and S must avoid F — then the full §3 validation.
 func (e *basicEnum) checkCandidate() {
+	e.checkStop()
+	if e.stopped {
+		return
+	}
 	e.stats.Candidates++
 	e.g.OutputsInto(e.outTest, e.S)
 	if e.outTest.Count() != len(e.outs) {
@@ -152,6 +183,11 @@ func (e *basicEnum) checkCandidate() {
 		}
 	}
 	if e.S.Intersects(e.g.ForbiddenSet()) {
+		return
+	}
+	if e.opt.MaxDedupBytes > 0 && e.seen.WouldGrowPast(e.opt.MaxDedupBytes) {
+		e.stats.RecordStop(StopBudget)
+		e.stopped = true
 		return
 	}
 	if !e.seen.Insert(e.S.Hash128()) {
@@ -168,6 +204,12 @@ func (e *basicEnum) checkCandidate() {
 		cut.Nodes = cut.Nodes.Clone()
 	}
 	if !e.visit(cut) {
+		e.stats.RecordStop(StopVisitor)
+		e.stopped = true
+		return
+	}
+	if e.opt.MaxCuts > 0 && e.stats.Valid >= e.opt.MaxCuts {
+		e.stats.RecordStop(StopBudget)
 		e.stopped = true
 	}
 }

@@ -3,6 +3,7 @@ package enum
 import (
 	"polyise/internal/bitset"
 	"polyise/internal/dfg"
+	"polyise/internal/faultinject"
 )
 
 // This file implements the incremental validation engine: the per-candidate
@@ -143,7 +144,7 @@ func (d *DeltaValidator) sync() {
 		return
 	}
 	d.srep.Copy(S)
-	if nd*valFallbackDen > S.Count()*valFallbackNum {
+	if faultinject.ForcedFallback() || nd*valFallbackDen > S.Count()*valFallbackNum {
 		d.rebuild()
 		return
 	}

@@ -1,13 +1,16 @@
 package enum
 
 import (
+	"context"
 	"math/bits"
+	"runtime/debug"
 	"sync/atomic"
 	"time"
 
 	"polyise/internal/bitset"
 	"polyise/internal/dfg"
 	"polyise/internal/domtree"
+	"polyise/internal/faultinject"
 	"polyise/internal/parallel"
 )
 
@@ -48,13 +51,39 @@ func Enumerate(g *dfg.Graph, opt Options, visit func(Cut) bool) Stats {
 	}
 	sh := newEnumShared(g, opt)
 	e := sh.newWorker(visit, nil)
-	for pos := range g.Topo() {
-		if e.stopped {
-			break
+	func() {
+		// Failure semantics (serial): a panic anywhere in the search — the
+		// visitor included — is contained here, converted to Stats.Err with
+		// the captured stack, and reported as StopReason = StopError. The
+		// cuts already visited are a coherent prefix of the enumeration
+		// order; the worker state is abandoned, so containment needs no
+		// repair beyond stopping.
+		defer e.recoverPanic()
+		for pos := range g.Topo() {
+			if e.stopped {
+				break
+			}
+			e.topLevel(pos)
 		}
-		e.topLevel(pos)
-	}
+	}()
 	return e.stats
+}
+
+// EnumerateContext runs Enumerate with ctx installed as Options.Context and
+// converts the run's stop state into an error: ctx.Err() when the context
+// canceled the run, Stats.Err when a contained panic or protocol stall
+// failed it, nil otherwise (budget, deadline and visitor stops are normal
+// outcomes reported through Stats.StopReason, not errors).
+func EnumerateContext(ctx context.Context, g *dfg.Graph, opt Options, visit func(Cut) bool) (Stats, error) {
+	opt.Context = ctx
+	stats := Enumerate(g, opt, visit)
+	switch {
+	case stats.Err != nil:
+		return stats, stats.Err
+	case stats.StopReason == StopCanceled:
+		return stats, ctx.Err()
+	}
+	return stats, nil
 }
 
 // enumShared is the per-graph setup every shard of one enumeration shares.
@@ -144,6 +173,7 @@ func (sh *enumShared) newWorker(visit func(Cut) bool, ext *atomic.Bool) *incEnum
 		permOut: sh.permOut,
 		badIn:   sh.badIn,
 		ext:     ext,
+		stop:    NewStopper(sh.opt),
 		dval:    NewDeltaValidator(sh.g, sh.opt, S),
 		tr:      sh.g.NewTraverser(),
 		seen:    newSigSet(),
@@ -174,15 +204,15 @@ type incEnum struct {
 	permOut *bitset.Set   // shared: vertices that are outputs forever once in S
 	badIn   []*bitset.Set // shared: per-output forbidden-ancestor exclusions
 
-	journal      []*bitset.Set // per-depth undo journal: the delta each push applied to S
-	paths        []*bitset.Set // per-depth on-path sets
-	backs        []*bitset.Set // per-depth reaches-o sets
-	uncs         []*bitset.Set // per-depth input-ancestor sets for the quick-offending reject
-	chains       [][]int       // per-depth dominator-chain buffers
-	seed1        [1]int // scratch: single-seed kernel calls
-	fs           *flowScratch
-	stopped      bool
-	deadlineTick uint32
+	journal []*bitset.Set // per-depth undo journal: the delta each push applied to S
+	paths   []*bitset.Set // per-depth on-path sets
+	backs   []*bitset.Set // per-depth reaches-o sets
+	uncs    []*bitset.Set // per-depth input-ancestor sets for the quick-offending reject
+	chains  [][]int       // per-depth dominator-chain buffers
+	seed1   [1]int        // scratch: single-seed kernel calls
+	fs      *flowScratch
+	stopped bool
+	stop    Stopper // shared cancel/deadline poll primitive (stop.go)
 
 	// Work-stealing state, nil/empty in serial runs (see parallel.go for
 	// the protocol). curSeg is the merge segment the worker currently emits
@@ -193,6 +223,10 @@ type incEnum struct {
 	curSeg   *parallel.Seg[Cut]
 	ranges   []posRange
 	segStack []segResume
+
+	// stallTimer is the reusable watchdog timer guarding handoff sends
+	// (sendTask); allocated on the first donation, reset per send.
+	stallTimer *time.Timer
 }
 
 // posRange is one live pickOutputRange frame: the topological positions
@@ -569,6 +603,12 @@ func (e *incEnum) maybeSplit() {
 	if st.hungry.Load() == 0 {
 		return
 	}
+	if h := faultinject.OnStealPublish; h != nil {
+		// Fires before claimHungry, so an injected panic here dies with no
+		// hungry slot claimed and no segment spliced — containment needs to
+		// repair nothing of the handoff.
+		h()
+	}
 	for ri := range e.ranges {
 		remaining := e.ranges[ri].end - (e.ranges[ri].cur + 1)
 		if remaining < 2 {
@@ -578,6 +618,7 @@ func (e *incEnum) maybeSplit() {
 			return // the hungry worker was claimed by another donor
 		}
 		r := &e.ranges[ri] // stable here: no recursion below
+		oldEnd := r.end
 		mid := r.cur + 1 + (remaining+1)/2
 		stolen, resume := st.ord.Split(e.curSeg)
 		t := stealTask{
@@ -592,14 +633,55 @@ func (e *incEnum) maybeSplit() {
 		}
 		r.end = mid
 		e.segStack = append(e.segStack, segResume{rangeIdx: ri, seg: resume})
-		// The claimed hungry worker is parked in its task select and the
-		// donor holds a liveness token, so this unbuffered send cannot
-		// block indefinitely; the token created here transfers to the task
-		// (see stealState).
-		st.active.Add(1)
-		st.tasks <- t
+		e.sendTask(t, ri, oldEnd, resume)
 		return
 	}
+}
+
+// stealStallTimeout bounds how long a donor waits for a claimed thief to
+// accept a handoff before declaring the protocol's liveness broken. Under
+// the handoff discipline the claimed thief is parked in its task select and
+// committed to receive, so on a healthy run the send completes in
+// microseconds; the timeout only fires if an invariant is broken, and then
+// a diagnosable StallError beats an invisible hang. A package variable so
+// the watchdog's own tests can shorten it.
+var stealStallTimeout = 10 * time.Second
+
+// sendTask hands t to the claimed hungry worker, guarded by the stall
+// watchdog. The claimed thief is committed to receive (see stealState), so
+// the send normally completes at once; if it does not within
+// stealStallTimeout, the donor reabsorbs the donated range instead of
+// hanging: the frame's end is restored so the donor runs the positions
+// itself, the stolen and resume segments close empty (order-correct — the
+// donor's current segment precedes both in the merge list, so its output
+// keeps its serial position), the task's freshly minted liveness token is
+// released, and the run stops with a StallError.
+func (e *incEnum) sendTask(t stealTask, ri, oldEnd int, resume *parallel.Seg[Cut]) {
+	st := e.steal
+	st.active.Add(1) // the task's liveness token; the receiver inherits it
+	if e.stallTimer == nil {
+		e.stallTimer = time.NewTimer(stealStallTimeout)
+	} else {
+		e.stallTimer.Reset(stealStallTimeout)
+	}
+	select {
+	case st.tasks <- t:
+		e.stallTimer.Stop()
+		return
+	case <-e.stallTimer.C:
+	}
+	// Stall: reabsorb. segStack's top is the entry just pushed by
+	// maybeSplit — no recursion ran in between.
+	e.ranges[ri].end = oldEnd
+	e.segStack = e.segStack[:len(e.segStack)-1]
+	st.ord.Close(t.seg)
+	st.ord.Close(resume)
+	// The donor still holds its own token, so this release cannot be the
+	// last one; the check mirrors the thief loop for symmetry.
+	if st.active.Add(-1) == 0 {
+		close(st.done)
+	}
+	e.fail(&StallError{Timeout: stealStallTimeout})
 }
 
 // popRangeSegs runs at a pickOutputRange frame's epilogue: for every split
@@ -696,7 +778,10 @@ func (e *incEnum) reachableFromInput(o int) bool {
 // start); when present the just-pushed seed is Ilist's last entry and
 // analyzePaths derives the child frontier from it by delta.
 func (e *incEnum) pickInputs(depth, oTopo, o, ninLeft, noutLeft, seedStart, phaseStart int, pBack *bitset.Set) bool {
-	e.checkDeadline()
+	if h := faultinject.OnPickInputs; h != nil {
+		h()
+	}
+	e.checkStop()
 	if e.stopped {
 		return false
 	}
@@ -920,37 +1005,101 @@ func (e *incEnum) popInput(w int) {
 	e.Ilist = e.Ilist[:len(e.Ilist)-1]
 }
 
-// checkDeadline aborts the search when the external stop flag is raised or
-// Options.Deadline has passed. The flag is an atomic load, checked on every
-// call; the wall clock is sampled only every few thousand checks to keep
-// its cost negligible.
+// checkStop aborts the search when the external stop flag is raised or a
+// stop source of the run — Options.Context, Options.Deadline — fires. The
+// flag is an atomic load, checked on every call; the wall clock and the
+// context channel are sampled only every few thousand checks (Stopper) to
+// keep their cost negligible. It is the single poll point the incremental
+// search uses; the baselines and EnumerateBasic share the same Stopper
+// primitive so cancellation semantics cannot drift between poly and oracle
+// runs.
 //
-// A timed-out worker raises the shared stop flag HERE, before its unwinding
-// closes any merge segment. The merge observes a close only after draining
-// the segment, and a channel close is an acquire/release pair, so once the
-// drain advances past the truncated segment it is guaranteed to see the
-// flag and visit nothing further — the visitor receives a coherent prefix
-// of the serial order even though segments past the truncation point (other
-// workers' subtrees, previously donated ranges) still drain.
-func (e *incEnum) checkDeadline() {
+// A stopping worker raises the shared stop flag HERE (stopExternal), before
+// its unwinding closes any merge segment. The merge observes a close only
+// after draining the segment, and a channel close is an acquire/release
+// pair, so once the drain advances past the truncated segment it is
+// guaranteed to see the flag and visit nothing further — the visitor
+// receives a coherent prefix of the serial order even though segments past
+// the truncation point (other workers' subtrees, previously donated ranges)
+// still drain. The same argument covers every stop cause: deadline,
+// cancellation, budget, contained panic, handoff stall.
+func (e *incEnum) checkStop() {
 	if e.ext != nil && e.ext.Load() {
 		e.stopped = true
 		return
 	}
-	if e.opt.Deadline.IsZero() {
+	if r := e.stop.Poll(); r != StopNone {
+		e.stopExternal(r)
+	}
+}
+
+// stopExternal records stop reason r and raises every stop flag: the
+// worker's own and, in parallel runs, the shared one — strictly before any
+// truncated merge segment closes, which is what keeps the drained prefix
+// serial-coherent (see checkStop).
+func (e *incEnum) stopExternal(r StopReason) {
+	e.stats.RecordStop(r)
+	e.stopped = true
+	if e.ext != nil {
+		e.ext.Store(true)
+	}
+}
+
+// fail records err as the worker's first error and stops the run with
+// StopReason = StopError.
+func (e *incEnum) fail(err error) {
+	if e.stats.Err == nil {
+		e.stats.Err = err
+	}
+	e.stopExternal(StopError)
+}
+
+// recoverPanic is the serial containment boundary: deferred around the
+// whole search loop, it converts a panic into the run's error. The worker
+// state is dead after it fires, which is fine — the serial Enumerate
+// returns immediately.
+func (e *incEnum) recoverPanic() {
+	if v := recover(); v != nil {
+		e.fail(&PanicError{Value: v, Stack: debug.Stack()})
+	}
+}
+
+// containPanic is the parallel containment boundary, deferred around each
+// top-level subtree (runTop) and each stolen task body (runTaskBody). It
+// converts the panic into the run's first error and repairs the worker's
+// merge obligations: the unwinding skipped every pickOutputRange epilogue
+// on the stack, so the resume segments those frames' splits promised are
+// closed here in LIFO order (replicating popRangeSegs), leaving curSeg on
+// the final resume segment for the caller's own Close. Every segment is
+// still closed exactly once and the ordered merge drains instead of
+// deadlocking. The choice state is reset so the worker can keep claiming
+// segments and serving its thief/token duties; the search-state corruption
+// left behind (S, journals, validator mirror) is irrelevant because the
+// stop flag is already raised — no further search runs on this worker.
+func (e *incEnum) containPanic() {
+	v := recover()
+	if v == nil {
 		return
 	}
-	e.deadlineTick++
-	if e.deadlineTick&0x0fff != 0 {
-		return
+	e.fail(&PanicError{Value: v, Stack: debug.Stack()})
+	for len(e.segStack) > 0 {
+		top := e.segStack[len(e.segStack)-1]
+		e.segStack = e.segStack[:len(e.segStack)-1]
+		e.steal.ord.Close(e.curSeg)
+		e.curSeg = top.seg
 	}
-	if time.Now().After(e.opt.Deadline) {
-		e.stats.TimedOut = true
-		e.stopped = true
-		if e.ext != nil {
-			e.ext.Store(true)
-		}
-	}
+	e.ranges = e.ranges[:0]
+	e.resetChoice()
+}
+
+// resetChoice clears the output/input choice state (and the cut it
+// identifies), returning the worker to the between-subtrees empty state.
+func (e *incEnum) resetChoice() {
+	e.outs = e.outs[:0]
+	e.outSet.Clear()
+	e.Ilist = e.Ilist[:0]
+	e.Iuser.Clear()
+	e.S.Clear()
 }
 
 // checkCut implements CHECK-CUT: accept the current S when its real outputs
@@ -961,7 +1110,10 @@ func (e *incEnum) checkDeadline() {
 // this replaced was the single hottest per-candidate cost), and the full
 // §3 validation runs staged on the same maintained aggregates.
 func (e *incEnum) checkCut(depth, oTopo, ninLeft, noutLeft int) {
-	e.checkDeadline()
+	if h := faultinject.OnCheckCut; h != nil {
+		h()
+	}
+	e.checkStop()
 	if e.stopped {
 		return
 	}
@@ -969,6 +1121,21 @@ func (e *incEnum) checkCut(depth, oTopo, ninLeft, noutLeft int) {
 	e.stats.Candidates++
 	realOuts := e.dval.NumOutputs()
 	if realOuts <= e.opt.MaxOutputs && !e.S.Empty() && !e.S.Intersects(e.g.ForbiddenSet()) {
+		if h := faultinject.OnDedupInsert; h != nil {
+			h()
+		}
+		if e.opt.MaxDedupBytes > 0 && e.ext == nil && e.seen.WouldGrowPast(e.opt.MaxDedupBytes) {
+			// Graceful degradation: the dedup table is at its last
+			// affordable size, so admitting this candidate could double it
+			// past the budget. Stop with exact partial stats instead. Serial
+			// only — in parallel runs the budget binds the merge's global
+			// table (where insertions happen in serial order, so degradation
+			// delivers the longest affordable serial prefix); the per-worker
+			// tables here are transient scratch reset at every subtree and
+			// stolen range, not the global dedup resource.
+			e.stopExternal(StopBudget)
+			return
+		}
 		if !e.seen.Insert(e.S.Hash128()) {
 			e.stats.Duplicates++
 		} else {
@@ -979,7 +1146,20 @@ func (e *incEnum) checkCut(depth, oTopo, ninLeft, noutLeft int) {
 					cut.Nodes = cut.Nodes.Clone()
 				}
 				if !e.visit(cut) {
+					// In parallel runs the emit wrapper returns false only
+					// when the global stop is already raised — the real
+					// reason (visitor stop, budget, …) is recorded by the
+					// merge, not here.
+					if e.ext == nil {
+						e.stats.RecordStop(StopVisitor)
+					}
 					e.stopped = true
+					return
+				}
+				// The serial cuts-retained cap; the parallel one lives in
+				// the merge drain, where global visit order is known.
+				if e.opt.MaxCuts > 0 && e.ext == nil && e.stats.Valid >= e.opt.MaxCuts {
+					e.stopExternal(StopBudget)
 					return
 				}
 			} else {

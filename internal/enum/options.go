@@ -65,7 +65,10 @@
 // property-tested reference.
 package enum
 
-import "time"
+import (
+	"context"
+	"time"
+)
 
 // Options configures an enumeration run.
 //
@@ -161,9 +164,37 @@ type Options struct {
 	KeepCuts bool
 
 	// Deadline, when non-zero, aborts the enumeration once the wall clock
-	// passes it; Stats.TimedOut reports the abort. The check runs every few
-	// thousand search steps, so overruns are small.
+	// passes it; Stats.StopReason reports StopDeadline (and the deprecated
+	// TimedOut alias stays set). The check runs every few thousand search
+	// steps, so overruns are small.
 	Deadline time.Time
+
+	// Context, when non-nil, cancels the enumeration once its Done channel
+	// closes; Stats.StopReason reports StopCanceled. It is polled at the
+	// same sampled sites as Deadline, so cancellation latency is a few
+	// thousand search steps. A stopped run still delivers a coherent
+	// prefix of the serial visit order at every worker count (see the
+	// Parallelism determinism contract); EnumerateContext is the
+	// convenience wrapper that also returns an error.
+	Context context.Context
+
+	// MaxDedupBytes, when positive, bounds the memory of the global dedup
+	// digest table (the open-addressing set that makes every cut unique):
+	// the serial run's table, or the merge stage's in parallel runs. When
+	// an insert would grow it past the budget the run ends early with
+	// StopReason = StopBudget and exact partial stats, instead of growing
+	// without bound on adversarial graphs. The table fills in serial cut
+	// order at every worker count, so degradation delivers the longest
+	// affordable serial-order prefix. (The transient per-worker scoped
+	// tables, reset at every subtree, are not budgeted.)
+	MaxDedupBytes int
+
+	// MaxCuts, when positive, stops the run once the visitor has received
+	// that many cuts, with StopReason = StopBudget. The delivered prefix
+	// is bit-exact the first MaxCuts cuts of the serial order at every
+	// worker count — a deterministic cuts-retained cap for callers that
+	// collect results.
+	MaxCuts int
 }
 
 // DefaultOptions returns the paper's standard configuration: Nin=4, Nout=2,
@@ -195,15 +226,33 @@ func PaperOptions() Options {
 	return o
 }
 
-// Stats reports the work an enumeration performed.
+// Stats reports the work an enumeration performed and, for runs that ended
+// early, why they stopped (StopReason) and with what error (Err).
 type Stats struct {
-	Valid        int  // distinct valid cuts reported
-	Candidates   int  // candidate cuts submitted to validation
-	Duplicates   int  // candidates that repeated an already-seen vertex set
-	Invalid      int  // candidates that failed validation
-	LTRuns       int  // reduced-graph dominator analyses performed
-	SeedsPruned  int  // seed vertices skipped by §5.3 prunings
-	OutputsTried int  // output choices explored
-	Steals       int  // stolen interior ranges executed (0 in serial runs)
-	TimedOut     bool // the run hit Options.Deadline and stopped early
+	Valid        int // distinct valid cuts reported
+	Candidates   int // candidate cuts submitted to validation
+	Duplicates   int // candidates that repeated an already-seen vertex set
+	Invalid      int // candidates that failed validation
+	LTRuns       int // reduced-graph dominator analyses performed
+	SeedsPruned  int // seed vertices skipped by §5.3 prunings
+	OutputsTried int // output choices explored
+	Steals       int // stolen interior ranges executed (0 in serial runs)
+
+	// StopReason classifies an early end of the run: StopNone means the
+	// search space was exhausted; any other value means the visited cuts
+	// are a (coherent, serial-order) prefix. When several causes coincide
+	// across parallel workers the highest-precedence reason wins.
+	StopReason StopReason
+
+	// Err is the first error of a failed run: a *PanicError for a panic
+	// contained at a shard, steal-task or merge-consumer boundary, a
+	// *StallError for a steal handoff the watchdog declared dead, or a
+	// baseline-specific error. Non-nil implies StopReason == StopError.
+	Err error
+
+	// TimedOut reports that the run hit Options.Deadline.
+	//
+	// Deprecated: equivalent to StopReason == StopDeadline; kept as an
+	// alias for callers predating StopReason.
+	TimedOut bool
 }

@@ -42,11 +42,13 @@ package enum
 // same subtree is emitted twice and collapses in the merge exactly as a
 // cross-subtree repeat does. The visitor therefore sees the same cuts, in
 // the same order, as Parallelism=1 — including the same prefix when it
-// stops the enumeration early. Under Options.Deadline the visited sequence
-// is still a prefix of the serial order (a timed-out worker raises the
-// shared stop before any truncated segment closes; see checkDeadline),
-// though not necessarily the same prefix a serial run with the same
-// deadline would reach — workers progress at different rates.
+// stops the enumeration early. Under any external stop — Options.Deadline,
+// Options.Context cancellation, a resource budget, a contained panic or a
+// handoff stall — the visited sequence is still a prefix of the serial
+// order (a stopping worker raises the shared stop before any truncated
+// segment closes; see checkStop), though not necessarily the same prefix a
+// serial run stopped the same way would reach — workers progress at
+// different rates.
 //
 // Stats. For runs that complete, Candidates, LTRuns, OutputsTried and
 // SeedsPruned partition exactly across workers — every search-tree node is
@@ -65,10 +67,12 @@ package enum
 // determinism contract.
 
 import (
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"polyise/internal/dfg"
+	"polyise/internal/faultinject"
 	"polyise/internal/parallel"
 )
 
@@ -157,12 +161,33 @@ func (st *stealState) claimHungry() bool {
 // search state at the stolen level from the choice prefixes, run the
 // range's loop, and leave the worker state empty again. The stolen segment
 // is closed even when the task is dropped because the enumeration already
-// stopped — the merge drains every spliced segment.
+// stopped — the merge drains every spliced segment — and even when the
+// body panics: containment (containPanic) walks curSeg onto the task's
+// final segment, closing the intermediate ones, exactly as the skipped
+// frame epilogues would have.
 func (e *incEnum) runTask(t stealTask) {
 	e.curSeg = t.seg
 	if e.stopped || (e.ext != nil && e.ext.Load()) {
 		e.steal.ord.Close(e.curSeg)
 		return
+	}
+	e.runTaskBody(t)
+	// The frame epilogue (or containPanic, when the body died) left curSeg
+	// on the task's final segment and emptied the range/segment stacks;
+	// reset the choice state for the next claim.
+	e.resetChoice()
+	e.steal.ord.Close(e.curSeg)
+}
+
+// runTaskBody is the contained interior of a stolen task: state
+// reconstruction and the range loop, under the parallel panic boundary.
+func (e *incEnum) runTaskBody(t stealTask) {
+	defer e.containPanic()
+	if h := faultinject.OnStealClaim; h != nil {
+		// Fires after the thief accepted the task (it owns t.seg and the
+		// task's liveness token) but before any reconstruction — a panic
+		// here is the "thief dies mid-handoff" case.
+		h()
 	}
 	e.stats.Steals++
 	// Fresh dedup scope for the stolen range; the merge reconciles repeats
@@ -180,14 +205,14 @@ func (e *incEnum) runTask(t stealTask) {
 	}
 	e.rebuildS() // S is a pure function of the prefixes just installed
 	e.pickOutputRange(t.depth, t.posStart, t.posEnd, t.ninLeft, t.noutLeft)
-	// The frame epilogue restored curSeg to t.seg and emptied the
-	// range/segment stacks; reset the choice state for the next claim.
-	e.outs = e.outs[:0]
-	e.outSet.Clear()
-	e.Ilist = e.Ilist[:0]
-	e.Iuser.Clear()
-	e.S.Clear()
-	e.steal.ord.Close(e.curSeg)
+}
+
+// runTop executes one top-level subtree under the parallel panic boundary;
+// the caller closes curSeg afterwards whether or not the subtree died.
+func (e *incEnum) runTop(pos int) {
+	defer e.containPanic()
+	e.seen.Reset()
+	e.topLevel(pos)
 }
 
 // enumerateParallel runs the sharded enumeration with the given worker
@@ -242,11 +267,11 @@ func enumerateParallel(g *dfg.Graph, opt Options, visit func(Cut) bool, workers 
 				// closed — the merge drains all of them.
 				e.curSeg = st.ord.Top(pos)
 				if !e.stopped && !stop.Load() {
-					e.seen.Reset()
-					e.topLevel(pos)
-					// Frame epilogues have restored curSeg to the
-					// position's own segment; any segments donated from
-					// this subtree belong to their thieves now.
+					e.runTop(pos)
+					// Frame epilogues (or containment, if the subtree
+					// panicked) have restored curSeg to the position's own
+					// segment; any segments donated from this subtree
+					// belong to their thieves now.
 				}
 				st.ord.Close(e.curSeg)
 			}
@@ -280,29 +305,62 @@ func enumerateParallel(g *dfg.Graph, opt Options, visit func(Cut) bool, workers 
 	// Merge stage: drain the segment list in order, dedup across scopes
 	// (first occurrence wins, matching the serial global dedup), and feed
 	// the caller's visitor until it stops. Draining continues after a stop
-	// so blocked producers always finish. `visited` — not `unique` — is
-	// what Stats.Valid must report: after an early stop the drain keeps
-	// deduping cuts the visitor never sees.
+	// so blocked producers always finish, but post-stop cuts are discarded
+	// without deduping — under a dedup budget the global table must not
+	// keep growing, and post-stop Duplicates attribution is outside the
+	// Stats contract anyway; `discarded` keeps the arithmetic exact for the
+	// pre-stop prefix. The merge is also a containment boundary: a
+	// panicking visitor becomes the run's first error while the drain keeps
+	// going, so no producer is left blocked on a full buffer.
 	seen := newSigSet()
-	emitted, unique, visited := 0, 0, 0
+	var mStats Stats // merge-level stop reason and first error
+	emitted, unique, visited, discarded := 0, 0, 0, 0
+	safeVisit := func(c Cut) (ok bool) {
+		defer func() {
+			if v := recover(); v != nil {
+				if mStats.Err == nil {
+					mStats.Err = &PanicError{Value: v, Stack: debug.Stack()}
+				}
+				mStats.RecordStop(StopError)
+				ok = false
+			}
+		}()
+		return visit(c)
+	}
 	st.ord.Drain(func(c Cut) {
 		emitted++
+		if stop.Load() {
+			discarded++
+			return
+		}
+		if opt.MaxDedupBytes > 0 && seen.WouldGrowPast(opt.MaxDedupBytes) {
+			mStats.RecordStop(StopBudget)
+			stop.Store(true)
+			discarded++
+			return
+		}
 		if !seen.Insert(c.Nodes.Hash128()) {
 			return
 		}
 		unique++
-		if stop.Load() {
+		visited++
+		if !safeVisit(c) {
+			// A voluntary visitor stop; on a visitor panic RecordStop's
+			// max-precedence keeps the StopError recorded by safeVisit.
+			mStats.RecordStop(StopVisitor)
+			stop.Store(true)
 			return
 		}
-		visited++
-		if !visit(c) {
+		if opt.MaxCuts > 0 && visited >= opt.MaxCuts {
+			mStats.RecordStop(StopBudget)
 			stop.Store(true)
 		}
 	})
 	wg.Wait()
 
 	agg.Valid = visited
-	agg.Duplicates += emitted - unique
+	agg.Duplicates += emitted - discarded - unique
+	addStats(&agg, mStats)
 	return agg
 }
 
@@ -317,4 +375,8 @@ func addStats(dst *Stats, s Stats) {
 	dst.OutputsTried += s.OutputsTried
 	dst.Steals += s.Steals
 	dst.TimedOut = dst.TimedOut || s.TimedOut
+	dst.RecordStop(s.StopReason)
+	if dst.Err == nil {
+		dst.Err = s.Err
+	}
 }

@@ -47,7 +47,12 @@ func Compile(src string) (*dfg.Graph, error) {
 	return c.g, nil
 }
 
-// MustCompile is Compile that panics on error, for tests and examples.
+// MustCompile is Compile that panics on error. It exists for tests and
+// package examples where a malformed program is a bug in the test itself;
+// library code and long-running services must use Compile and handle the
+// error — the enumeration's panic containment would still convert an
+// escaping compile panic into a clean Stats.Err, but a failed run is the
+// wrong way to report bad input.
 func MustCompile(src string) *dfg.Graph {
 	g, err := Compile(src)
 	if err != nil {

@@ -24,6 +24,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"polyise/internal/faultinject"
 )
 
 // Workers resolves a parallelism knob to a concrete worker count: any value
@@ -285,6 +287,12 @@ func (o *SplitOrdered[T]) Close(s *Seg[T]) {
 // passes the donated range, then closed) and hands stolen to the thief.
 // The pair is one allocation.
 func (o *SplitOrdered[T]) Split(s *Seg[T]) (stolen, resume *Seg[T]) {
+	if h := faultinject.OnMergeSplice; h != nil {
+		// Before any list mutation: an injected panic here propagates to
+		// the caller with the segment list untouched, so the containment
+		// layer above sees a consistent merge with no half-spliced pair.
+		h()
+	}
 	pair := new([2]Seg[T])
 	stolen, resume = &pair[0], &pair[1]
 	o.mu.Lock()

@@ -44,6 +44,7 @@
 package polyise
 
 import (
+	"context"
 	"io"
 
 	"polyise/internal/baseline"
@@ -120,6 +121,41 @@ type Stats = enum.Stats
 func Enumerate(g *Graph, opt Options, visit func(Cut) bool) Stats {
 	return enum.Enumerate(g, opt, visit)
 }
+
+// EnumerateContext is Enumerate with explicit cancellation: it wires ctx
+// into Options.Context and returns a non-nil error when the run ended
+// abnormally — ctx.Err() on cancellation or deadline expiry through the
+// context, Stats.Err for a contained panic or a stalled worker handoff.
+// Early stops the caller asked for (Options.Deadline, MaxCuts,
+// MaxDedupBytes, a false-returning visitor) are not errors; inspect
+// Stats.StopReason to distinguish them. Whatever the cause, the visitor
+// has by then received an exact prefix of the serial enumeration order.
+func EnumerateContext(ctx context.Context, g *Graph, opt Options, visit func(Cut) bool) (Stats, error) {
+	return enum.EnumerateContext(ctx, g, opt, visit)
+}
+
+// StopReason identifies why an enumeration ended early; Stats.StopReason
+// is StopNone for a run that completed the full search space.
+type StopReason = enum.StopReason
+
+// The stop reasons, in increasing precedence: when several causes race,
+// Stats.StopReason reports the highest.
+const (
+	StopNone     = enum.StopNone     // ran to completion
+	StopVisitor  = enum.StopVisitor  // the visitor returned false
+	StopBudget   = enum.StopBudget   // MaxCuts or MaxDedupBytes reached
+	StopDeadline = enum.StopDeadline // Options.Deadline passed
+	StopCanceled = enum.StopCanceled // Options.Context canceled
+	StopError    = enum.StopError    // contained panic or worker failure; see Stats.Err
+)
+
+// PanicError is the Stats.Err value for a panic contained at an
+// enumeration boundary; it carries the recovered value and stack.
+type PanicError = enum.PanicError
+
+// StallError is the Stats.Err value reported when a parallel work handoff
+// stalled past the liveness watchdog.
+type StallError = enum.StallError
 
 // EnumerateAll collects every valid cut, sorted deterministically.
 func EnumerateAll(g *Graph, opt Options) ([]Cut, Stats) {
