@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race chaos diff-oracle diff-oracle-quick docs-check bench bench-json bench-json-quick bench-gate bench-scaling profile fuzz ci
+.PHONY: build vet test test-race chaos crash diff-oracle diff-oracle-quick docs-check bench bench-json bench-json-quick bench-gate bench-scaling profile fuzz ci
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,18 @@ test-race:
 chaos:
 	$(GO) test -race -run 'TestChaos|TestFailure' ./internal/enum/ -timeout 10m -count 1
 	$(GO) test -race ./internal/faultinject/ -timeout 2m -count 1
+
+# Crash-resume certification: the kill-and-resume matrix under the race
+# detector — an injected panic at every protocol site of a checkpointing
+# run (including inside the snapshot writer itself), then a resume from the
+# snapshot the contained crash left behind, at the other worker count;
+# crashed prefix + resumed suffix must be bit-identical to the serial
+# order. Runs alongside the snapshot-format compatibility suite (committed
+# golden file, version skew, truncation/corruption, round-trip fuzz seeds).
+# The hard -timeout turns a hung resume into a failure.
+crash:
+	$(GO) test -race -run 'TestCrashResume|TestResume|TestCheckpoint' ./internal/enum/ -timeout 10m -count 1
+	$(GO) test -race ./internal/checkpoint/ -timeout 2m -count 1
 
 # Mid-size completeness evidence: diff the polynomial enumeration against
 # the pruned-exhaustive oracle on the pinned gap instances (n=140/seed 5 →
@@ -107,4 +119,4 @@ profile:
 fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/graphio/
 
-ci: test test-race chaos docs-check diff-oracle-quick bench-gate
+ci: test test-race chaos crash docs-check diff-oracle-quick bench-gate

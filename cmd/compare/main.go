@@ -40,11 +40,22 @@ func main() {
 	)
 	flag.Parse()
 
-	// SIGINT cancels every in-flight measurement through the context path:
-	// each run drains cleanly and reports itself stopped-early, the tables
-	// computed so far still print, and the process exits nonzero.
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	// The first SIGINT cancels every in-flight measurement through the
+	// context path: each run drains cleanly and reports itself
+	// stopped-early, the tables computed so far still print, and the
+	// process exits nonzero. A second SIGINT exits immediately — the escape
+	// hatch when the drain itself takes too long.
+	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "compare: interrupt: draining (interrupt again to exit immediately)")
+		cancel()
+		<-sigc
+		os.Exit(130)
+	}()
 
 	opt := enum.DefaultOptions()
 	if *paper {
@@ -82,9 +93,9 @@ func main() {
 		sizes := []int{25, 50, 75, 100, 150, 200, 300}
 		k, points := bench.GrowthExponent(bench.AlgPoly, sizes, *seed, opt, *budget)
 		fmt.Printf("# polynomial algorithm scaling, Nin=%d Nout=%d\n", *nin, *nout)
-		fmt.Printf("%8s %12s %10s %8s\n", "n", "seconds", "cuts", "timeout")
+		fmt.Printf("%8s %12s %10s %14s\n", "n", "seconds", "cuts", "stop")
 		for _, m := range points {
-			fmt.Printf("%8d %12.6f %10d %8v\n", m.N, m.Duration.Seconds(), m.Cuts, m.TimedOut)
+			fmt.Printf("%8d %12.6f %10d %14v\n", m.N, m.Duration.Seconds(), m.Cuts, m.StopReason)
 		}
 		fmt.Printf("fitted exponent k = %.2f (theory bound: Nin+Nout+1 = %d)\n",
 			k, *nin+*nout+1)
@@ -98,7 +109,7 @@ func main() {
 	}
 
 	if ctx.Err() != nil {
-		fmt.Fprintln(os.Stderr, "compare: interrupted; measurements after the signal are partial (flagged as timeouts)")
+		fmt.Fprintln(os.Stderr, "compare: interrupted; measurements after the signal are partial (flagged canceled)")
 		os.Exit(130)
 	}
 }
@@ -128,20 +139,20 @@ func runAblation(seed int64, base enum.Options, budget time.Duration) {
 	}
 
 	fmt.Printf("# §5.3 pruning ablation over %d blocks\n", len(blocks))
-	fmt.Printf("%-26s %12s %10s %10s\n", "variant", "seconds", "cuts", "timeouts")
+	fmt.Printf("%-26s %12s %10s %10s\n", "variant", "seconds", "cuts", "stopped")
 	for _, v := range variants {
 		opt := base
 		v.mutate(&opt)
 		total := time.Duration(0)
-		cuts, timeouts := 0, 0
+		cuts, stopped := 0, 0
 		for _, b := range blocks {
 			m := bench.Run(bench.AlgPoly, b.G, opt, budget)
 			total += m.Duration
 			cuts += m.Cuts
-			if m.TimedOut {
-				timeouts++
+			if m.Stopped() {
+				stopped++
 			}
 		}
-		fmt.Printf("%-26s %12.4f %10d %10d\n", v.name, total.Seconds(), cuts, timeouts)
+		fmt.Printf("%-26s %12.4f %10d %10d\n", v.name, total.Seconds(), cuts, stopped)
 	}
 }

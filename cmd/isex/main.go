@@ -9,16 +9,22 @@
 //	isex -select -max-instr 4 block.dfg    pick an ISE and report speedup
 //	isex -expr kernel.x                    input is exprc source, not a DFG
 //	isex -dot-best out.dot block.dfg       write the best cut as DOT
+//	isex -checkpoint run.ckpt block.dfg    crash-tolerant run; SIGINT drains,
+//	                                       snapshots and exits 130
+//	isex -checkpoint run.ckpt -resume ...  continue where the snapshot stopped
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"time"
 
+	"polyise/internal/checkpoint"
 	"polyise/internal/dfg"
 	"polyise/internal/enum"
 	"polyise/internal/exprc"
@@ -43,6 +49,12 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "abort enumeration after this long")
 		par       = flag.Int("parallel", 0,
 			"enumeration shard workers (0 = GOMAXPROCS, 1 = the paper's serial algorithm)")
+		ckptPath = flag.String("checkpoint", "",
+			"write crash-tolerant snapshots to this file (SIGINT drains and checkpoints before exiting)")
+		ckptEvery = flag.Int("checkpoint-every", 10000,
+			"with -checkpoint: also snapshot every N delivered cuts (0 = only on stop)")
+		resume = flag.Bool("resume", false,
+			"resume the enumeration from the -checkpoint file instead of starting over")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -51,16 +63,38 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *resume && *ckptPath == "" {
+		fmt.Fprintln(os.Stderr, "isex: -resume requires -checkpoint <file>")
+		os.Exit(2)
+	}
+
 	g, err := loadGraph(flag.Arg(0), *expr)
 	if err != nil {
 		fatal(err)
 	}
 
-	// SIGINT cancels the enumeration through the context path: the run
-	// drains cleanly, the partial stats print with their stop reason, and
-	// the process exits nonzero instead of dying mid-run.
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	// The first SIGINT stops the run cleanly: with -checkpoint it trips the
+	// preemption hook, so the enumeration drains to a visit point and writes
+	// a final resumable snapshot; without it the context path cancels the
+	// run and the partial stats still print. A second SIGINT exits
+	// immediately with the conventional status — the escape hatch when the
+	// drain itself is what the user wants to kill.
+	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	ckptStop := make(chan struct{})
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		<-sigc
+		if *ckptPath != "" {
+			fmt.Fprintln(os.Stderr, "isex: interrupt: checkpointing (interrupt again to exit immediately)")
+			close(ckptStop)
+		} else {
+			cancel()
+		}
+		<-sigc
+		os.Exit(130)
+	}()
 
 	opt := enum.DefaultOptions()
 	opt.MaxInputs = *nin
@@ -72,9 +106,44 @@ func main() {
 	if *timeout > 0 {
 		opt.Deadline = time.Now().Add(*timeout)
 	}
+	if *ckptPath != "" {
+		opt.CheckpointPath = *ckptPath
+		opt.CheckpointEvery = *ckptEvery
+		opt.CheckpointStop = ckptStop
+	}
 
 	start := time.Now()
-	cuts, stats := enum.CollectAll(g, opt)
+	var cuts []enum.Cut
+	var stats enum.Stats
+	if *resume {
+		snap, err := checkpoint.ReadFile(*ckptPath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("resuming from %s: %d cuts already visited, frontier at node %d\n",
+			*ckptPath, snap.Visited, snap.CurTop)
+		opt.KeepCuts = true
+		var rerr error
+		stats, rerr = enum.ResumeEnumerate(g, opt, snap, func(c enum.Cut) bool {
+			cuts = append(cuts, c)
+			return true
+		})
+		if errors.Is(rerr, enum.ErrCompleted) {
+			fmt.Println("checkpoint records a completed run; nothing to resume")
+			return
+		}
+		if rerr != nil && stats.Err == nil {
+			// Validation refusals (graph/options mismatch) happen before the
+			// run starts and are not carried in Stats.
+			fatal(rerr)
+		}
+		// CollectAll sorts by vertex set; present the resumed cuts the same way.
+		sort.Slice(cuts, func(i, j int) bool {
+			return cuts[i].Nodes.Compare(cuts[j].Nodes) < 0
+		})
+	} else {
+		cuts, stats = enum.CollectAll(g, opt)
+	}
 	dur := time.Since(start)
 
 	fmt.Printf("graph: %d nodes, %d edges, %d roots, %d forbidden\n",
@@ -95,6 +164,13 @@ func main() {
 		}
 	}
 
+	if stats.StopReason == enum.StopCheckpoint {
+		// First SIGINT with -checkpoint: the run drained to a visit point
+		// and the final snapshot is on disk; rerun with -resume to continue.
+		fmt.Printf("checkpoint written to %s (%d cuts visited); resume with -resume\n",
+			*ckptPath, stats.Valid)
+		os.Exit(130)
+	}
 	if stats.StopReason == enum.StopCanceled {
 		// Interrupted: the partial stats (and cut list, if requested) are
 		// printed; selection and reports over a truncated cut set would be

@@ -63,7 +63,7 @@ func TestPrunedSearchDeadline(t *testing.T) {
 	opt.Deadline = time.Now().Add(20 * time.Millisecond)
 	start := time.Now()
 	stats := baseline.PrunedSearch(g, opt, func(enum.Cut) bool { return true })
-	if !stats.TimedOut {
+	if stats.StopReason != enum.StopDeadline {
 		t.Skip("exhaustive tree search finished within 20ms on this machine")
 	}
 	if time.Since(start) > 5*time.Second {

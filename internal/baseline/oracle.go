@@ -23,10 +23,16 @@ import (
 // OracleReport is the outcome of one DiffOracle comparison.
 type OracleReport struct {
 	Name       string
-	N          int  // vertex count of the instance
-	PolyCuts   int  // valid cuts reported by enum.Enumerate
-	PrunedCuts int  // valid cuts reported by PrunedSearch
-	TimedOut   bool // either run stopped early (deadline, cancel, budget): counts partial, no verdict
+	N          int // vertex count of the instance
+	PolyCuts   int // valid cuts reported by enum.Enumerate
+	PrunedCuts int // valid cuts reported by PrunedSearch
+
+	// PolyStop and PrunedStop record how each run ended (StopNone for a
+	// complete enumeration). Any other reason — deadline, cancel, budget —
+	// leaves the counts partial and the comparison without a verdict; the
+	// report says which run stopped and why instead of collapsing every
+	// early stop into one "timed out" bit.
+	PolyStop, PrunedStop enum.StopReason
 
 	// Err carries the first error of either run — a contained panic, a
 	// handoff stall, or a baseline refusal such as *TooLargeError — making
@@ -58,10 +64,16 @@ type OracleReport struct {
 // OracleMaxExamples caps the example lists carried in an OracleReport.
 const OracleMaxExamples = 10
 
+// Stopped reports whether either run ended early for any reason, leaving
+// the counts partial.
+func (r OracleReport) Stopped() bool {
+	return r.PolyStop != enum.StopNone || r.PrunedStop != enum.StopNone
+}
+
 // Agree reports whether the comparison ran to completion with identical
 // cut sets.
 func (r OracleReport) Agree() bool {
-	return !r.TimedOut && r.Err == nil && r.MissingTotal == 0 && r.ExtraTotal == 0
+	return !r.Stopped() && r.Err == nil && r.MissingTotal == 0 && r.ExtraTotal == 0
 }
 
 // String renders the report in one line for logs, with diagnostic detail
@@ -71,8 +83,8 @@ func (r OracleReport) String() string {
 	if r.Err != nil {
 		return s + fmt.Sprintf(" (error: %v: inconclusive)", r.Err)
 	}
-	if r.TimedOut {
-		return s + " (stopped early: inconclusive)"
+	if r.Stopped() {
+		return s + fmt.Sprintf(" (stopped early: poly=%v pruned=%v: inconclusive)", r.PolyStop, r.PrunedStop)
 	}
 	if r.Agree() {
 		return s + " (agree)"
@@ -96,8 +108,9 @@ func (r OracleReport) String() string {
 // DiffOracle enumerates g twice — with the polynomial algorithm under opt
 // and with the pruned-exhaustive search under the same constraints — and
 // returns the exact set difference. budget bounds the wall clock of each
-// run separately (zero = no bound); a run that exceeds it yields a
-// TimedOut report whose counts are partial and which carries no verdict.
+// run separately (zero = no bound); a run that exceeds it yields a report
+// whose PolyStop/PrunedStop say so, whose counts are partial and which
+// carries no verdict.
 //
 // Cut identity is the full vertex-set signature (Cut.String), NOT the
 // 128-bit dedup digest: the digest is itself part of what the oracle
@@ -124,8 +137,8 @@ func DiffOracle(name string, g *dfg.Graph, opt enum.Options, budget time.Duratio
 	}
 	// Any early stop — deadline, cancellation, budget, error — leaves the
 	// counts partial: no verdict.
-	if ps.StopReason != enum.StopNone || rs.StopReason != enum.StopNone {
-		rep.TimedOut = true
+	rep.PolyStop, rep.PrunedStop = ps.StopReason, rs.StopReason
+	if rep.Stopped() {
 		return rep
 	}
 

@@ -52,8 +52,21 @@ type Measurement struct {
 	Algorithm Algorithm
 	Cuts      int
 	Duration  time.Duration
-	TimedOut  bool
+	// StopReason records how the measured run ended: StopNone for a
+	// complete measurement, StopDeadline for a genuine wall-clock timeout,
+	// StopCanceled for the SIGINT path of cmd/compare, and so on. Any
+	// non-none reason means the point is partial — a lower bound on both
+	// Cuts and Duration, excluded from fits.
+	StopReason enum.StopReason
 }
+
+// Stopped reports whether the run ended early for any reason, leaving the
+// measurement partial.
+func (m Measurement) Stopped() bool { return m.StopReason != enum.StopNone }
+
+// DeadlineHit reports specifically a wall-clock budget timeout, as opposed
+// to cancellation or any other early stop.
+func (m Measurement) DeadlineHit() bool { return m.StopReason == enum.StopDeadline }
 
 // Run measures one algorithm on one graph with a wall-clock budget (zero
 // means unbounded). The measured run is always serial regardless of
@@ -86,10 +99,11 @@ func Run(alg Algorithm, g *dfg.Graph, opt enum.Options, budget time.Duration) Me
 		Algorithm: alg,
 		Cuts:      cuts,
 		Duration:  time.Since(start),
-		// Any early stop — deadline, opt.Context cancellation (the SIGINT
-		// path of cmd/compare), budget — leaves the point partial and must
-		// be flagged so it is excluded from fits.
-		TimedOut: stats.StopReason != enum.StopNone,
+		// The full stop reason, not a collapsed boolean: deadline,
+		// opt.Context cancellation (the SIGINT path of cmd/compare) and
+		// budget stops all leave the point partial, but the tables should
+		// say which one happened.
+		StopReason: stats.StopReason,
 	}
 }
 
@@ -165,7 +179,10 @@ func CorpusCuts(blocks []workload.Block, opt enum.Options, budget time.Duration)
 	return out
 }
 
-// ClusterSummary aggregates figure 5 points per cluster.
+// ClusterSummary aggregates figure 5 points per cluster. The *Timeouts
+// counters tally genuine deadline hits only; Partial counts points where
+// any of the three runs stopped early for ANY reason (cancel, budget,
+// deadline) — the set a fit or a wins-count should treat as incomplete.
 type ClusterSummary struct {
 	Cluster        string
 	Points         int
@@ -174,6 +191,7 @@ type ClusterSummary struct {
 	PolyTimeouts   int
 	AtasuTimeouts  int
 	PrunedTimeouts int
+	Partial        int
 }
 
 // Summarize aggregates comparison points by cluster, in a stable order.
@@ -196,14 +214,17 @@ func Summarize(points []ComparePoint) []ClusterSummary {
 				s.PolyWins++
 			}
 			speedups = append(speedups, p.SpeedupOfPoly())
-			if p.Poly.TimedOut {
+			if p.Poly.DeadlineHit() {
 				s.PolyTimeouts++
 			}
-			if p.Atasu.TimedOut {
+			if p.Atasu.DeadlineHit() {
 				s.AtasuTimeouts++
 			}
-			if p.Pruned.TimedOut {
+			if p.Pruned.DeadlineHit() {
 				s.PrunedTimeouts++
+			}
+			if p.Poly.Stopped() || p.Atasu.Stopped() || p.Pruned.Stopped() {
+				s.Partial++
 			}
 		}
 		sort.Float64s(speedups)
@@ -222,15 +243,18 @@ func WriteScatter(w io.Writer, points []ComparePoint) {
 	fmt.Fprintf(w, "%-22s %-10s %6s %12s %12s %12s %8s %s\n",
 		"block", "cluster", "n", "poly_s", "atasu03_s", "modern15_s", "speedup", "flags")
 	for _, p := range points {
+		// Flags carry the concrete stop reason per run, not a collapsed
+		// "timeout": a canceled point and a deadline point are both partial
+		// but mean different things when reading the scatter.
 		flags := ""
-		if p.Poly.TimedOut {
-			flags += "poly-timeout "
+		if p.Poly.Stopped() {
+			flags += fmt.Sprintf("poly-%v ", p.Poly.StopReason)
 		}
-		if p.Atasu.TimedOut {
-			flags += "atasu-timeout "
+		if p.Atasu.Stopped() {
+			flags += fmt.Sprintf("atasu-%v ", p.Atasu.StopReason)
 		}
-		if p.Pruned.TimedOut {
-			flags += "modern-timeout"
+		if p.Pruned.Stopped() {
+			flags += fmt.Sprintf("modern-%v", p.Pruned.StopReason)
 		}
 		fmt.Fprintf(w, "%-22s %-10s %6d %12.6f %12.6f %12.6f %8.2f %s\n",
 			p.Block, p.Cluster, p.N,
@@ -241,13 +265,13 @@ func WriteScatter(w io.Writer, points []ComparePoint) {
 
 // WriteSummary prints per-cluster aggregates.
 func WriteSummary(w io.Writer, summaries []ClusterSummary) {
-	fmt.Fprintf(w, "%-10s %7s %9s %15s %13s %14s %15s\n",
+	fmt.Fprintf(w, "%-10s %7s %9s %15s %13s %14s %15s %8s\n",
 		"cluster", "points", "poly-wins", "median-speedup",
-		"poly-timeout", "atasu-timeout", "modern-timeout")
+		"poly-timeout", "atasu-timeout", "modern-timeout", "partial")
 	for _, s := range summaries {
-		fmt.Fprintf(w, "%-10s %7d %9d %15.2f %13d %14d %15d\n",
+		fmt.Fprintf(w, "%-10s %7d %9d %15.2f %13d %14d %15d %8d\n",
 			s.Cluster, s.Points, s.PolyWins, s.MedianSpeedup,
-			s.PolyTimeouts, s.AtasuTimeouts, s.PrunedTimeouts)
+			s.PolyTimeouts, s.AtasuTimeouts, s.PrunedTimeouts, s.Partial)
 	}
 }
 
@@ -287,7 +311,9 @@ func GrowthExponent(alg Algorithm, sizes []int, seed int64, opt enum.Options, bu
 		g := workload.MiBenchLike(r, n, workload.DefaultProfile())
 		m := Run(alg, g, opt, budget)
 		points = append(points, m)
-		if !m.TimedOut {
+		// Any early stop — not just a deadline — leaves Duration a lower
+		// bound, which would silently flatten the fitted exponent.
+		if !m.Stopped() {
 			xs = append(xs, float64(n))
 			ys = append(ys, m.Duration.Seconds())
 		}

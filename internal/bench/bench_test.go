@@ -55,8 +55,11 @@ func TestBudgetTimesOut(t *testing.T) {
 	g := workload.Tree(7, 2) // 255-node tree: exhaustive search cannot finish fast
 	opt := enum.DefaultOptions()
 	m := Run(AlgPruned, g, opt, 30*time.Millisecond)
-	if !m.TimedOut {
+	if !m.Stopped() {
 		t.Skip("machine finished the exhaustive tree search within 30ms; nothing to assert")
+	}
+	if !m.DeadlineHit() {
+		t.Fatalf("budget stop reported as %v, want %v", m.StopReason, enum.StopDeadline)
 	}
 	if m.Duration > 5*time.Second {
 		t.Fatalf("timeout not respected: ran %v", m.Duration)
@@ -75,8 +78,8 @@ func TestSummarizeAndWriters(t *testing.T) {
 			Pruned: Measurement{Duration: time.Millisecond}},
 		{Block: "t", Cluster: "tree", N: 31,
 			Poly:   Measurement{Duration: time.Millisecond},
-			Atasu:  Measurement{Duration: time.Second, TimedOut: true},
-			Pruned: Measurement{Duration: time.Second, TimedOut: true}},
+			Atasu:  Measurement{Duration: time.Second, StopReason: enum.StopDeadline},
+			Pruned: Measurement{Duration: time.Second, StopReason: enum.StopCanceled}},
 	}
 	sums := Summarize(points)
 	if len(sums) != 2 {
@@ -85,14 +88,20 @@ func TestSummarizeAndWriters(t *testing.T) {
 	if sums[0].Cluster != "10-79" || sums[0].PolyWins != 1 || sums[0].Points != 2 {
 		t.Fatalf("summary[0] = %+v", sums[0])
 	}
-	if sums[1].AtasuTimeouts != 1 || sums[1].PrunedTimeouts != 1 {
+	// The deadline hit counts as a timeout; the canceled run is partial but
+	// NOT a timeout — that distinction is the point of the StopReason field.
+	if sums[1].AtasuTimeouts != 1 || sums[1].PrunedTimeouts != 0 || sums[1].Partial != 1 {
 		t.Fatalf("summary[1] = %+v", sums[1])
+	}
+	if sums[0].Partial != 0 {
+		t.Fatalf("summary[0] reports %d partial points, want 0", sums[0].Partial)
 	}
 
 	var buf bytes.Buffer
 	WriteScatter(&buf, points)
 	out := buf.String()
-	if !strings.Contains(out, "atasu-timeout") || !strings.Contains(out, "figure 5") {
+	if !strings.Contains(out, "atasu-deadline") || !strings.Contains(out, "modern-canceled") ||
+		!strings.Contains(out, "figure 5") {
 		t.Fatalf("scatter output:\n%s", out)
 	}
 	buf.Reset()

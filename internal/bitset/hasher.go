@@ -1,0 +1,56 @@
+package bitset
+
+import "math/bits"
+
+// Hasher128 is the streaming form of Hash128: a two-lane accumulator that
+// consumes an arbitrary word sequence instead of one set's backing array.
+// The checkpoint subsystem uses it to fingerprint whole graphs (vertex
+// count, opcode list, adjacency rows, role sets) so a snapshot can refuse
+// to resume against different input. It uses the same per-word avalanche
+// (hashmix) and independently keyed lanes as Hash128 — see that method's
+// comment for why folding raw words is not an option — so the digest
+// quality is identical; the two differ only in how the words arrive.
+//
+// The zero Hasher128 is not ready for use; call NewHasher128. Word order
+// matters: the digest identifies the sequence, not the multiset. Callers
+// hashing variable-length sections should write a length word first so
+// section boundaries cannot alias.
+type Hasher128 struct {
+	h1, h2 uint64
+}
+
+// NewHasher128 returns a hasher in its initial lane state.
+func NewHasher128() Hasher128 {
+	return Hasher128{h1: 0xcbf29ce484222325, h2: 0x6c62272e07bb0142}
+}
+
+// Word folds one 64-bit word into both lanes.
+func (h *Hasher128) Word(w uint64) {
+	const (
+		prime1 = 0x100000001b3
+		prime2 = 0x3f4e5a7b9d1c8e63
+	)
+	m := hashmix(w)
+	h.h1 = (h.h1 ^ m) * prime1
+	h.h2 = (h.h2 ^ bits.RotateLeft64(m, 27)) * prime2
+}
+
+// Int folds an int as one word.
+func (h *Hasher128) Int(v int) { h.Word(uint64(int64(v))) }
+
+// Words folds a word slice, length first.
+func (h *Hasher128) Words(ws []uint64) {
+	h.Int(len(ws))
+	for _, w := range ws {
+		h.Word(w)
+	}
+}
+
+// Set folds a bit set's backing words, length first.
+func (h *Hasher128) Set(s *Set) { h.Words(s.Words()) }
+
+// Sum finalizes both lanes. The hasher may keep absorbing words after Sum;
+// the finalization does not disturb the lane state.
+func (h *Hasher128) Sum() [2]uint64 {
+	return [2]uint64{hashmix(h.h1), hashmix(h.h2)}
+}

@@ -113,6 +113,25 @@ func (s *DigestSet) Len() int {
 	return s.n
 }
 
+// AppendDigests appends every key in the set to dst and returns the
+// extended slice: the zero digest first when present, then the non-zero
+// keys in backing-table order. Table order is deterministic for a given
+// insertion history but is NOT insertion order; callers needing a canonical
+// listing must sort. The checkpoint subsystem uses this to serialize a
+// dedup table so a resumed run can suppress exactly the cuts the
+// interrupted run already delivered.
+func (s *DigestSet) AppendDigests(dst [][2]uint64) [][2]uint64 {
+	if s.hasZero {
+		dst = append(dst, [2]uint64{})
+	}
+	for _, k := range s.slots {
+		if k[0]|k[1] != 0 {
+			dst = append(dst, k)
+		}
+	}
+	return dst
+}
+
 // Reset empties the set, keeping the backing array.
 func (s *DigestSet) Reset() {
 	for i := range s.slots {

@@ -1,0 +1,284 @@
+package checkpoint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"polyise/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden snapshot file")
+
+// sampleSnapshot is a fixed, fully-populated snapshot: every field class is
+// exercised (flags, counters, the zero digest, choice stacks, frames). It
+// doubles as the golden-file content, so it must never change — format
+// evolution means a new Version and a new golden file, not edits here.
+func sampleSnapshot() *Snapshot {
+	return &Snapshot{
+		GraphHash: [2]uint64{0x0123456789abcdef, 0xfedcba9876543210},
+		GraphN:    60,
+		OptHash:   0xdeadbeefcafef00d,
+		Reason:    3,
+		Visited:   12345,
+		CurTop:    17,
+		Stats: Counters{
+			Valid: 12345, Candidates: 99999, Duplicates: 4242, Invalid: 777,
+			LTRuns: 31337, SeedsPruned: 11, OutputsTried: 2024, Steals: 9,
+		},
+		HasZero: true,
+		Digests: [][2]uint64{{0, 0}, {1, 2}, {0xffffffffffffffff, 3}, {4, 5}},
+		Outs:    []int{17, 23, 31},
+		Ins:     []int{2, 3, 5, 7},
+		Frames: []Frame{
+			{Depth: 0, Cur: 17, End: 60, OutsLen: 1, InsLen: 0, NinLeft: 4, NoutLeft: 2},
+			{Depth: 1, Cur: 23, End: 31, OutsLen: 2, InsLen: 2, NinLeft: 2, NoutLeft: 1},
+		},
+	}
+}
+
+func encodeToBytes(t *testing.T, s *Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, s); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// rehash recomputes the integrity trailer after a test mutated the body, so
+// structure checks are reached instead of the corruption check.
+func rehash(raw []byte) []byte {
+	body := raw[:len(raw)-sha256.Size]
+	sum := sha256.Sum256(body)
+	return append(append([]byte(nil), body...), sum[:]...)
+}
+
+func TestRoundTrip(t *testing.T) {
+	for name, s := range map[string]*Snapshot{
+		"full":  sampleSnapshot(),
+		"empty": {},
+		"done":  {Done: true, Visited: 7, CurTop: 60, GraphN: 60},
+	} {
+		got, err := Decode(bytes.NewReader(encodeToBytes(t, s)))
+		if err != nil {
+			t.Fatalf("%s: Decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, s) {
+			t.Fatalf("%s: round trip diverges:\n got %+v\nwant %+v", name, got, s)
+		}
+	}
+}
+
+// TestGolden pins the byte-exact v1 encoding against a committed file, in
+// both directions: today's encoder must reproduce the golden bytes, and
+// today's decoder must read them back to the sample snapshot. Any failure
+// means the format changed without a version bump.
+func TestGolden(t *testing.T) {
+	golden := filepath.Join("testdata", "snapshot_v1.golden")
+	raw := encodeToBytes(t, sampleSnapshot())
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(raw, want) {
+		t.Fatalf("encoding diverged from committed golden file (%d vs %d bytes): the v1 format changed without a version bump", len(raw), len(want))
+	}
+	got, err := Decode(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("Decode(golden): %v", err)
+	}
+	if !reflect.DeepEqual(got, sampleSnapshot()) {
+		t.Fatalf("golden snapshot decoded to %+v", got)
+	}
+}
+
+func TestVersionSkew(t *testing.T) {
+	raw := encodeToBytes(t, sampleSnapshot())
+	for _, v := range []uint32{0, 2, 0xffffffff} {
+		bad := append([]byte(nil), raw...)
+		binary.LittleEndian.PutUint32(bad[len(Magic):], v)
+		var ve *VersionError
+		if _, err := Decode(bytes.NewReader(bad)); !errors.As(err, &ve) || ve.Got != v {
+			t.Fatalf("version %d: err = %v, want *VersionError", v, err)
+		}
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	raw := encodeToBytes(t, sampleSnapshot())
+	bad := append([]byte(nil), raw...)
+	bad[0] ^= 0x20
+	var fe *FormatError
+	if _, err := Decode(bytes.NewReader(bad)); !errors.As(err, &fe) {
+		t.Fatalf("bad magic: err = %v, want *FormatError", err)
+	}
+}
+
+// TestTruncated feeds every prefix of a valid snapshot to Decode: each must
+// fail with a typed error — truncation can never panic and never yield a
+// snapshot.
+func TestTruncated(t *testing.T) {
+	raw := encodeToBytes(t, sampleSnapshot())
+	for n := 0; n < len(raw); n++ {
+		_, err := Decode(bytes.NewReader(raw[:n]))
+		if err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded successfully", n, len(raw))
+		}
+		var fe *FormatError
+		var ve *VersionError
+		var ce *CorruptError
+		if !errors.As(err, &fe) && !errors.As(err, &ve) && !errors.As(err, &ce) {
+			t.Fatalf("prefix of %d bytes: untyped error %v", n, err)
+		}
+	}
+}
+
+// TestCorrupted flips each byte after the version field: the integrity hash
+// must catch every one as *CorruptError (the version field itself reports
+// version skew instead, by design — it is checked first so old readers give
+// the right message for new files).
+func TestCorrupted(t *testing.T) {
+	raw := encodeToBytes(t, sampleSnapshot())
+	for off := len(Magic) + 4; off < len(raw); off++ {
+		bad := append([]byte(nil), raw...)
+		bad[off] ^= 0x01
+		var ce *CorruptError
+		if _, err := Decode(bytes.NewReader(bad)); !errors.As(err, &ce) {
+			t.Fatalf("flip at %d: err = %v, want *CorruptError", off, err)
+		}
+	}
+}
+
+// TestInconsistentLengths patches length fields to values the remaining
+// bytes cannot satisfy (rehashing so the corruption check passes): the
+// bounds-checked decoder must reject them before allocating.
+func TestInconsistentLengths(t *testing.T) {
+	s := sampleSnapshot()
+	raw := encodeToBytes(t, s)
+	// The digest-count field follows magic, version, hash pair, N, opt
+	// hash, 2 flag bytes, visited, curtop and 8 counters.
+	digestCountOff := len(Magic) + 4 + 16 + 4 + 8 + 2 + 8 + 4 + 8*8
+	if got := binary.LittleEndian.Uint32(raw[digestCountOff:]); got != uint32(len(s.Digests)) {
+		t.Fatalf("test offset arithmetic is stale: read %d at digest count, want %d", got, len(s.Digests))
+	}
+	for _, n := range []uint32{uint32(len(s.Digests)) + 1, 1 << 29, 0xffffffff} {
+		bad := append([]byte(nil), raw...)
+		binary.LittleEndian.PutUint32(bad[digestCountOff:], n)
+		var fe *FormatError
+		if _, err := Decode(bytes.NewReader(rehash(bad))); !errors.As(err, &fe) {
+			t.Fatalf("digest count %d: err = %v, want *FormatError", n, err)
+		}
+	}
+	// Trailing garbage between the last field and the hash.
+	padded := append([]byte(nil), raw[:len(raw)-sha256.Size]...)
+	padded = append(padded, 0xaa, 0xbb)
+	var fe *FormatError
+	if _, err := Decode(bytes.NewReader(rehash(padded))); !errors.As(err, &fe) {
+		t.Fatalf("trailing bytes: err = %v, want *FormatError", err)
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.ckpt")
+	first := sampleSnapshot()
+	if err := WriteFile(path, first); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	second := sampleSnapshot()
+	second.Visited = 99999
+	if err := WriteFile(path, second); err != nil {
+		t.Fatalf("WriteFile (replace): %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !reflect.DeepEqual(got, second) {
+		t.Fatal("ReadFile returned the stale snapshot after an atomic replace")
+	}
+	// No temp litter after successful renames.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("directory holds %d entries after two writes, want 1", len(ents))
+	}
+	if err := WriteFile(filepath.Join(dir, "missing", "s.ckpt"), first); err == nil {
+		t.Fatal("WriteFile into a missing directory succeeded")
+	}
+}
+
+// TestGraphDigest pins the identity contract: equal construction → equal
+// digest, different graphs → different digests.
+func TestGraphDigest(t *testing.T) {
+	prof := workload.DefaultProfile()
+	g1 := workload.MiBenchLike(rand.New(rand.NewSource(1)), 40, prof)
+	g1b := workload.MiBenchLike(rand.New(rand.NewSource(1)), 40, prof)
+	g2 := workload.MiBenchLike(rand.New(rand.NewSource(2)), 40, prof)
+	if GraphDigest(g1) != GraphDigest(g1b) {
+		t.Fatal("identically-built graphs digest differently")
+	}
+	if GraphDigest(g1) == GraphDigest(g2) {
+		t.Fatal("different graphs share a digest")
+	}
+}
+
+// FuzzCheckpoint mirrors graphio.FuzzRead: arbitrary bytes must either
+// decode to a snapshot that re-encodes and re-decodes to itself, or fail
+// with a typed error — never panic, never loop.
+func FuzzCheckpoint(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+	full := sampleSnapshot()
+	var buf bytes.Buffer
+	if err := Encode(&buf, full); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	buf.Reset()
+	if err := Encode(&buf, &Snapshot{}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		s, err := Decode(bytes.NewReader(raw))
+		if err != nil {
+			var fe *FormatError
+			var ve *VersionError
+			var ce *CorruptError
+			if !errors.As(err, &fe) && !errors.As(err, &ve) && !errors.As(err, &ce) {
+				t.Fatalf("untyped decode error %v", err)
+			}
+			return
+		}
+		var out bytes.Buffer
+		if err := Encode(&out, s); err != nil {
+			t.Fatalf("re-encode of a decoded snapshot failed: %v", err)
+		}
+		s2, err := Decode(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatal("decode→encode→decode is not a fixed point")
+		}
+	})
+}

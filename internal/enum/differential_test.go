@@ -150,7 +150,7 @@ func runOracle(t *testing.T, name string, g *dfg.Graph, budget time.Duration) ba
 	opt := enum.DefaultOptions()
 	opt.Parallelism = 1
 	rep := baseline.DiffOracle(name, g, opt, budget)
-	if rep.TimedOut {
+	if rep.Stopped() {
 		t.Skipf("%s: budget %v exceeded — inconclusive (raise POLYISE_ORACLE_BUDGET or use `make diff-oracle`)", name, budget)
 	}
 	if !rep.Agree() {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"polyise/internal/bitset"
+	"polyise/internal/checkpoint"
 	"polyise/internal/dfg"
 	"polyise/internal/domtree"
 	"polyise/internal/faultinject"
@@ -47,25 +48,47 @@ import (
 // differences in the returned Stats.
 func Enumerate(g *dfg.Graph, opt Options, visit func(Cut) bool) Stats {
 	if w := parallel.Workers(opt.Parallelism); w > 1 && g.N() > 1 {
-		return enumerateParallel(g, opt, visit, w)
+		return enumerateParallel(g, opt, visit, w, nil)
 	}
+	return enumerateSerial(g, opt, visit, nil)
+}
+
+// enumerateSerial is the serial run loop, shared by Enumerate and
+// ResumeEnumerate: rs, when non-nil, seeds the worker from a snapshot and
+// restarts the top-level loop at the snapshot's frontier position.
+func enumerateSerial(g *dfg.Graph, opt Options, visit func(Cut) bool, rs *resumeState) Stats {
 	sh := newEnumShared(g, opt)
 	e := sh.newWorker(visit, nil)
+	if opt.CheckpointPath != "" {
+		e.ck = newCkptWriter(g, opt)
+	}
+	start := 0
+	if rs != nil {
+		start = rs.startTop
+		e.installResume(rs)
+	}
 	func() {
 		// Failure semantics (serial): a panic anywhere in the search — the
 		// visitor included — is contained here, converted to Stats.Err with
 		// the captured stack, and reported as StopReason = StopError. The
 		// cuts already visited are a coherent prefix of the enumeration
 		// order; the worker state is abandoned, so containment needs no
-		// repair beyond stopping.
+		// repair beyond stopping (and, when checkpointing, writing the
+		// final snapshot from the stop-time capture below).
 		defer e.recoverPanic()
-		for pos := range g.Topo() {
+		for pos := start; pos < g.N(); pos++ {
 			if e.stopped {
 				break
 			}
 			e.topLevel(pos)
+			// Saved fast-forward frames only address the replayed first
+			// subtree; past it the resumed run is in novel territory.
+			e.ffwd = nil
 		}
 	}()
+	if e.ck != nil {
+		e.writeFinal()
+	}
 	return e.stats
 }
 
@@ -227,6 +250,21 @@ type incEnum struct {
 	// stallTimer is the reusable watchdog timer guarding handoff sends
 	// (sendTask); allocated on the first donation, reset per send.
 	stallTimer *time.Timer
+
+	// Checkpoint state, nil/zero unless Options.CheckpointPath is set on a
+	// serial run (the parallel merge owns its own writer): ck writes
+	// snapshots, topPos tracks the current top-level position, pendSnap is
+	// the state captured at the stop moment for the final snapshot. The
+	// ffwd fields carry a resumed snapshot's saved frames and backing
+	// choice stacks for fast-forward (ffwdEngage); ffwdOn counts the saved
+	// frames currently matched and still on the saved path.
+	ck       *ckptWriter
+	topPos   int
+	pendSnap *checkpoint.Snapshot
+	ffwd     []checkpoint.Frame
+	ffwdOuts []int
+	ffwdIns  []int
+	ffwdOn   int
 }
 
 // posRange is one live pickOutputRange frame: the topological positions
@@ -471,6 +509,7 @@ func (e *incEnum) topLevel(pos int) {
 	if e.stopped || e.opt.MaxOutputs <= 0 {
 		return
 	}
+	e.topPos = pos // the snapshot frontier: positions before this are done
 	o := e.g.Topo()[pos]
 	if !e.admissibleOutput(o) {
 		return
@@ -541,6 +580,9 @@ func (e *incEnum) pickOutputRange(depth, start, end, ninLeft, noutLeft int) {
 		outsLen: len(e.outs), insLen: len(e.Ilist),
 		ninLeft: ninLeft, noutLeft: noutLeft,
 	})
+	if e.ffwd != nil {
+		e.ffwdEngage(ri, depth, start, end, ninLeft, noutLeft)
+	}
 	// The frame must be addressed as e.ranges[ri] afresh after any
 	// recursion: deeper levels append to the slice and may move it.
 	for !e.stopped {
@@ -549,6 +591,11 @@ func (e *incEnum) pickOutputRange(depth, start, end, ninLeft, noutLeft int) {
 			break
 		}
 		e.ranges[ri].cur = pos
+		if e.ffwd != nil && e.ffwdOn > ri && pos != e.ffwd[ri].Cur {
+			// A matched level moved past its saved position: the walk left
+			// the saved path here, so deeper saved frames no longer apply.
+			e.ffwdOn = ri
+		}
 		o := topo[pos]
 		if !e.admissibleOutput(o) {
 			continue
@@ -1043,6 +1090,11 @@ func (e *incEnum) stopExternal(r StopReason) {
 	if e.ext != nil {
 		e.ext.Store(true)
 	}
+	// Serial checkpointing runs capture the stop-time state here — before
+	// the unwinding pops any frame — for the final snapshot (captureSnap is
+	// a no-op when no checkpoint path is configured). This covers every
+	// serial stop cause, contained panics included: fail() routes here.
+	e.captureSnap()
 }
 
 // fail records err as the worker's first error and stops the run with
@@ -1154,6 +1206,7 @@ func (e *incEnum) checkCut(depth, oTopo, ninLeft, noutLeft int) {
 						e.stats.RecordStop(StopVisitor)
 					}
 					e.stopped = true
+					e.captureSnap()
 					return
 				}
 				// The serial cuts-retained cap; the parallel one lives in
@@ -1161,6 +1214,17 @@ func (e *incEnum) checkCut(depth, oTopo, ninLeft, noutLeft int) {
 				if e.opt.MaxCuts > 0 && e.ext == nil && e.stats.Valid >= e.opt.MaxCuts {
 					e.stopExternal(StopBudget)
 					return
+				}
+				// Serial periodic checkpoint cadence, at the visit point
+				// (the parallel one lives in the merge drain): frames are
+				// coherent here — every level's earlier positions are fully
+				// explored — so the snapshot resumes bit-exactly.
+				if e.ck != nil && e.opt.CheckpointEvery > 0 &&
+					e.stats.Valid%e.opt.CheckpointEvery == 0 {
+					e.writePeriodic()
+					if e.stopped {
+						return
+					}
 				}
 			} else {
 				e.stats.Invalid++

@@ -193,8 +193,41 @@ type Options struct {
 	// that many cuts, with StopReason = StopBudget. The delivered prefix
 	// is bit-exact the first MaxCuts cuts of the serial order at every
 	// worker count — a deterministic cuts-retained cap for callers that
-	// collect results.
+	// collect results. On a resumed run (ResumeEnumerate) the cap counts
+	// cuts delivered across the whole logical run, snapshot prefix
+	// included, so the same Options mean the same thing before and after a
+	// crash.
 	MaxCuts int
+
+	// CheckpointPath, when non-empty, makes the run durable: snapshots of
+	// the enumeration state are written to this file (atomically, via a
+	// temp file and rename) so a later ResumeEnumerate can continue the
+	// run bit-exactly after a crash or kill. A snapshot is written every
+	// CheckpointEvery delivered cuts and once more when the run stops for
+	// any clean reason (completion, visitor stop, budget, deadline,
+	// cancellation, CheckpointStop) or dies to a contained panic. All
+	// snapshots are taken at the serial-order visit point — the one
+	// quiescent cut across worker schedules, the same point where MaxCuts
+	// binds — so the snapshot prefix is exactly "the first Visited cuts of
+	// the serial order" at any worker count. A failed snapshot write stops
+	// the run with StopError rather than continuing un-durably.
+	CheckpointPath string
+
+	// CheckpointEvery is the period, in delivered cuts, of periodic
+	// snapshots; 0 disables periodic snapshots (only the final stop-time
+	// snapshot is written). Ignored unless CheckpointPath is set. On a
+	// resumed run the period counts across the seam, continuing the
+	// interrupted run's cadence.
+	CheckpointEvery int
+
+	// CheckpointStop, when non-nil, requests a checkpoint-and-stop: once
+	// the channel closes, the run writes a final snapshot (when
+	// CheckpointPath is set) and stops cleanly with StopReason =
+	// StopCheckpoint. This is the preemption hook — SIGINT handlers and
+	// job schedulers close it instead of canceling the Context, turning
+	// "shut down" into "park the run on disk". Polled at the same sampled
+	// sites as Deadline.
+	CheckpointStop <-chan struct{}
 }
 
 // DefaultOptions returns the paper's standard configuration: Nin=4, Nout=2,

@@ -217,7 +217,11 @@ func (e *incEnum) runTop(pos int) {
 
 // enumerateParallel runs the sharded enumeration with the given worker
 // count (≥ 2). The caller guarantees g is frozen and has at least 2 nodes.
-func enumerateParallel(g *dfg.Graph, opt Options, visit func(Cut) bool, workers int) Stats {
+// rs, when non-nil, resumes from a snapshot: workers start claiming
+// top-level positions at the snapshot frontier and the merge's dedup table
+// and delivered count are pre-seeded, so the replayed frontier subtree
+// re-emits only novel cuts (see ResumeEnumerate).
+func enumerateParallel(g *dfg.Graph, opt Options, visit func(Cut) bool, workers int, rs *resumeState) Stats {
 	n := g.N()
 	if workers > n {
 		// More initial shards than first-output positions would only burn
@@ -226,6 +230,10 @@ func enumerateParallel(g *dfg.Graph, opt Options, visit func(Cut) bool, workers 
 		workers = n
 	}
 	sh := newEnumShared(g, opt)
+	var ck *ckptWriter
+	if opt.CheckpointPath != "" {
+		ck = newCkptWriter(g, opt)
+	}
 
 	// Shards must hand cuts across goroutines, so their node sets are
 	// always cloned regardless of the caller's KeepCuts; the visitor
@@ -245,6 +253,11 @@ func enumerateParallel(g *dfg.Graph, opt Options, visit func(Cut) bool, workers 
 	var next atomic.Int64
 	var mu sync.Mutex
 	var agg Stats
+	if rs != nil {
+		next.Store(int64(rs.startTop))
+		agg = rs.stats // counter baseline; Valid is overwritten below
+		agg.Valid = 0
+	}
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -315,6 +328,23 @@ func enumerateParallel(g *dfg.Graph, opt Options, visit func(Cut) bool, workers 
 	seen := newSigSet()
 	var mStats Stats // merge-level stop reason and first error
 	emitted, unique, visited, discarded := 0, 0, 0, 0
+	startTop := 0
+	if rs != nil {
+		// Resume seeding: the pre-snapshot prefix counts as visited (MaxCuts
+		// and CheckpointEvery bind across the seam), its digests suppress
+		// re-delivery from the replayed frontier subtree, and the top-level
+		// segments before the frontier — which no worker will claim — close
+		// empty so the drain walks straight past them.
+		startTop = rs.startTop
+		visited = int(rs.visited)
+		for _, d := range rs.digests {
+			seen.Insert(d)
+		}
+		for i := 0; i < startTop && i < n; i++ {
+			st.ord.Close(st.ord.Top(i))
+		}
+	}
+	curTop := startTop // top-level position of the last delivered cut
 	safeVisit := func(c Cut) (ok bool) {
 		defer func() {
 			if v := recover(); v != nil {
@@ -327,7 +357,7 @@ func enumerateParallel(g *dfg.Graph, opt Options, visit func(Cut) bool, workers 
 		}()
 		return visit(c)
 	}
-	st.ord.Drain(func(c Cut) {
+	st.ord.DrainWithIndex(func(top int, c Cut) {
 		emitted++
 		if stop.Load() {
 			discarded++
@@ -344,6 +374,7 @@ func enumerateParallel(g *dfg.Graph, opt Options, visit func(Cut) bool, workers 
 		}
 		unique++
 		visited++
+		curTop = top
 		if !safeVisit(c) {
 			// A voluntary visitor stop; on a visitor panic RecordStop's
 			// max-precedence keeps the StopError recorded by safeVisit.
@@ -354,6 +385,35 @@ func enumerateParallel(g *dfg.Graph, opt Options, visit func(Cut) bool, workers 
 		if opt.MaxCuts > 0 && visited >= opt.MaxCuts {
 			mStats.RecordStop(StopBudget)
 			stop.Store(true)
+			return
+		}
+		// The merge polls the preemption hook too: workers poll it in their
+		// own Stoppers, but on a small search they may all have finished
+		// producing before the drain delivers the cut whose visitor pulls
+		// the trigger — the drain must still stop at the next visit point.
+		if opt.CheckpointStop != nil {
+			select {
+			case <-opt.CheckpointStop:
+				mStats.RecordStop(StopCheckpoint)
+				stop.Store(true)
+				return
+			default:
+			}
+		}
+		// Periodic checkpoint cadence, at the merge's global visit point —
+		// the one place where "the first `visited` cuts of the serial
+		// order" is true under any steal schedule. Every top-level segment
+		// before curTop is fully drained here, so curTop is the resume
+		// frontier. A failed write stops the run: continuing would
+		// silently void durability.
+		if ck != nil && opt.CheckpointEvery > 0 && visited%opt.CheckpointEvery == 0 {
+			if err := ck.write(ck.mergeSnap(seen, visited, curTop, mStats)); err != nil {
+				if mStats.Err == nil {
+					mStats.Err = err
+				}
+				mStats.RecordStop(StopError)
+				stop.Store(true)
+			}
 		}
 	})
 	wg.Wait()
@@ -361,6 +421,20 @@ func enumerateParallel(g *dfg.Graph, opt Options, visit func(Cut) bool, workers 
 	agg.Valid = visited
 	agg.Duplicates += emitted - discarded - unique
 	addStats(&agg, mStats)
+	if ck != nil {
+		// Final snapshot, after every worker settled: resumable at the
+		// last delivered cut's frontier, or marked Done on completion.
+		snap := ck.mergeSnap(seen, visited, curTop, agg)
+		if agg.StopReason == StopNone {
+			snap.Done = true
+			snap.CurTop = n
+			snap.Digests = nil
+		}
+		if err := ck.write(snap); err != nil && agg.Err == nil {
+			agg.Err = err
+			agg.RecordStop(StopError)
+		}
+	}
 	return agg
 }
 

@@ -98,7 +98,7 @@ func TestParallelExpiredDeadline(t *testing.T) {
 	}()
 	select {
 	case stats := <-done:
-		if !stats.TimedOut {
+		if stats.StopReason != enum.StopDeadline {
 			t.Fatalf("expired deadline not reported: %+v", stats)
 		}
 	case <-time.After(60 * time.Second):

@@ -20,6 +20,11 @@ const (
 	// StopBudget: a resource budget was reached (Options.MaxDedupBytes or
 	// Options.MaxCuts). The stats are exact for the emitted prefix.
 	StopBudget
+	// StopCheckpoint: Options.CheckpointStop was closed; the run wrote a
+	// final snapshot (when Options.CheckpointPath is set) and stopped
+	// cleanly at its next quiescent point. A StopCheckpoint run is the
+	// designed prefix of a ResumeEnumerate continuation.
+	StopCheckpoint
 	// StopDeadline: the wall clock passed Options.Deadline.
 	StopDeadline
 	// StopCanceled: Options.Context was canceled.
@@ -38,6 +43,8 @@ func (r StopReason) String() string {
 		return "visitor-stop"
 	case StopBudget:
 		return "budget"
+	case StopCheckpoint:
+		return "checkpoint-stop"
 	case StopDeadline:
 		return "deadline"
 	case StopCanceled:
@@ -101,13 +108,15 @@ const stopPollMask = 0x0fff
 // parallel enumeration is separate).
 type Stopper struct {
 	done     <-chan struct{} // Context.Done(), nil when no context
+	ckpt     <-chan struct{} // Options.CheckpointStop, nil when unset
 	deadline time.Time
 	tick     uint32
 }
 
-// NewStopper builds a Stopper from the options' Context and Deadline.
+// NewStopper builds a Stopper from the options' Context, Deadline and
+// CheckpointStop channel.
 func NewStopper(opt Options) Stopper {
-	s := Stopper{deadline: opt.Deadline}
+	s := Stopper{deadline: opt.Deadline, ckpt: opt.CheckpointStop}
 	if opt.Context != nil {
 		s.done = opt.Context.Done()
 	}
@@ -115,9 +124,10 @@ func NewStopper(opt Options) Stopper {
 }
 
 // Poll reports why the run must stop, or StopNone. Only every 4096th call
-// samples the clock and context; with neither configured it is two loads.
+// samples the clock and channels; with no source configured it is two
+// loads.
 func (s *Stopper) Poll() StopReason {
-	if s.done == nil && s.deadline.IsZero() {
+	if s.done == nil && s.ckpt == nil && s.deadline.IsZero() {
 		return StopNone
 	}
 	s.tick++
@@ -128,6 +138,8 @@ func (s *Stopper) Poll() StopReason {
 }
 
 // Now checks the stop sources immediately, without tick sampling.
+// Cancellation outranks the deadline, which outranks a checkpoint-stop
+// request, matching StopReason precedence.
 func (s *Stopper) Now() StopReason {
 	if s.done != nil {
 		select {
@@ -138,6 +150,13 @@ func (s *Stopper) Now() StopReason {
 	}
 	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
 		return StopDeadline
+	}
+	if s.ckpt != nil {
+		select {
+		case <-s.ckpt:
+			return StopCheckpoint
+		default:
+		}
 	}
 	return StopNone
 }

@@ -29,6 +29,11 @@
 //   - MergeSplice: parallel.SplitOrdered.Split, before the segment list is
 //     modified — a panic here must leave the merge list intact.
 //   - DedupInsert: a digest-set insert on the candidate admission path.
+//   - CheckpointWrite: a durable snapshot about to be persisted
+//     (enum.Options.CheckpointPath) — a panic here kills the run in the
+//     middle of its checkpoint cadence, which is exactly the window the
+//     atomic temp+rename write protocol must make survivable: the
+//     crash-resume suite proves the previous snapshot still resumes.
 //
 // ForceFallback is separate: when it returns true, the delta kernels
 // (dfg.Traverser's GrowCut/ShrinkCut/ShrinkReachInto clip thresholds and
@@ -46,12 +51,13 @@ import (
 // Hook variables, nil when no injection is active (the production state).
 // Call sites guard with `if h := faultinject.OnX; h != nil { h() }`.
 var (
-	OnPickInputs   func()
-	OnCheckCut     func()
-	OnStealPublish func()
-	OnStealClaim   func()
-	OnMergeSplice  func()
-	OnDedupInsert  func()
+	OnPickInputs      func()
+	OnCheckCut        func()
+	OnStealPublish    func()
+	OnStealClaim      func()
+	OnMergeSplice     func()
+	OnDedupInsert     func()
+	OnCheckpointWrite func()
 
 	// ForceFallback, when non-nil and returning true, forces every delta
 	// kernel to its from-scratch fallback path.
@@ -75,6 +81,7 @@ const (
 	SiteStealClaim
 	SiteMergeSplice
 	SiteDedupInsert
+	SiteCheckpointWrite
 	NumSites
 )
 
@@ -92,6 +99,8 @@ func (s Site) String() string {
 		return "mergeSplice"
 	case SiteDedupInsert:
 		return "dedupInsert"
+	case SiteCheckpointWrite:
+		return "checkpointWrite"
 	}
 	return fmt.Sprintf("site(%d)", uint8(s))
 }
@@ -166,6 +175,7 @@ func Install(injs ...Injection) *Plan {
 	OnStealClaim = func() { p.fire(SiteStealClaim) }
 	OnMergeSplice = func() { p.fire(SiteMergeSplice) }
 	OnDedupInsert = func() { p.fire(SiteDedupInsert) }
+	OnCheckpointWrite = func() { p.fire(SiteCheckpointWrite) }
 	return p
 }
 
@@ -178,6 +188,7 @@ func Uninstall() {
 	OnStealClaim = nil
 	OnMergeSplice = nil
 	OnDedupInsert = nil
+	OnCheckpointWrite = nil
 	ForceFallback = nil
 }
 

@@ -7,12 +7,13 @@ import (
 
 func TestSiteStrings(t *testing.T) {
 	want := map[Site]string{
-		SitePickInputs:   "pickInputs",
-		SiteCheckCut:     "checkCut",
-		SiteStealPublish: "stealPublish",
-		SiteStealClaim:   "stealClaim",
-		SiteMergeSplice:  "mergeSplice",
-		SiteDedupInsert:  "dedupInsert",
+		SitePickInputs:      "pickInputs",
+		SiteCheckCut:        "checkCut",
+		SiteStealPublish:    "stealPublish",
+		SiteStealClaim:      "stealClaim",
+		SiteMergeSplice:     "mergeSplice",
+		SiteDedupInsert:     "dedupInsert",
+		SiteCheckpointWrite: "checkpointWrite",
 	}
 	if len(want) != int(NumSites) {
 		t.Fatalf("test covers %d sites, package declares %d", len(want), NumSites)
@@ -39,7 +40,7 @@ func TestInstallUninstall(t *testing.T) {
 		}
 	}
 	// Counting hooks are wired for every site even with no injections.
-	hooks := []func(){OnPickInputs, OnCheckCut, OnStealPublish, OnStealClaim, OnMergeSplice, OnDedupInsert}
+	hooks := []func(){OnPickInputs, OnCheckCut, OnStealPublish, OnStealClaim, OnMergeSplice, OnDedupInsert, OnCheckpointWrite}
 	if len(hooks) != int(NumSites) {
 		t.Fatalf("test drives %d hooks, package declares %d sites", len(hooks), NumSites)
 	}
@@ -56,7 +57,7 @@ func TestInstallUninstall(t *testing.T) {
 	Uninstall()
 	if OnPickInputs != nil || OnCheckCut != nil || OnStealPublish != nil ||
 		OnStealClaim != nil || OnMergeSplice != nil || OnDedupInsert != nil ||
-		ForceFallback != nil {
+		OnCheckpointWrite != nil || ForceFallback != nil {
 		t.Fatal("Uninstall left a hook installed")
 	}
 	if ForcedFallback() {

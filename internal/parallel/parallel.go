@@ -309,11 +309,30 @@ func (o *SplitOrdered[T]) Split(s *Seg[T]) (stolen, resume *Seg[T]) {
 // while draining, to be closed. Early termination is the caller's business:
 // keep consuming (discarding) so blocked producers can finish.
 func (o *SplitOrdered[T]) Drain(visit func(T)) {
+	o.DrainWithIndex(func(_ int, v T) { visit(v) })
+}
+
+// DrainWithIndex is Drain with provenance: visit additionally receives the
+// top-level segment index whose span the value belongs to. Spliced segments
+// inherit the index of the base segment they were (transitively) split
+// from, so `top` is exactly "which top-level work item produced this value"
+// — monotonically non-decreasing across the drain. The checkpoint subsystem
+// uses it to record the serial-order frontier position of the last
+// delivered value. Base segments are identified positionally: the walk
+// reaches them in index order, and every splice lands strictly between two
+// base segments, so one advancing cursor suffices — no per-segment index
+// storage.
+func (o *SplitOrdered[T]) DrainWithIndex(visit func(top int, v T)) {
 	if len(o.base) == 0 {
 		return
 	}
 	s := &o.base[0]
+	top, nextBase := 0, 1
 	for s != nil {
+		if nextBase < len(o.base) && s == &o.base[nextBase] {
+			top = nextBase
+			nextBase++
+		}
 		o.mu.Lock()
 		for s.ch == nil && !s.done {
 			o.cond.Wait()
@@ -322,7 +341,7 @@ func (o *SplitOrdered[T]) Drain(visit func(T)) {
 		o.mu.Unlock()
 		if ch != nil {
 			for v := range ch {
-				visit(v)
+				visit(top, v)
 			}
 		}
 		o.mu.Lock()
