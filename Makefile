@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race chaos crash diff-oracle diff-oracle-quick docs-check bench bench-json bench-json-quick bench-gate bench-scaling profile fuzz ci
+.PHONY: build vet test test-race chaos crash diff-oracle diff-oracle-quick semoracle semoracle-quick coverage-floor docs-check bench bench-json bench-json-quick bench-gate bench-scaling scenario-json profile fuzz ci
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,24 @@ diff-oracle:
 diff-oracle-quick:
 	POLYISE_ORACLE_BUDGET=90s $(GO) test ./internal/enum/ -run 'MidSizeOracle' -timeout 15m -count 1
 
+# Semantic certification: the interpreter cut-semantics oracle and the
+# exhaustive selection reference over the pinned corpora (internal/
+# semoracle). The full run certifies every cut of the gap-regression
+# corpus (4 565 + 7 891 cuts, 8 random environments each, seeded-memory
+# load/store ordering included); semoracle-quick is the CI version at a
+# budget where an overrun is an explicit skip (inconclusive), never a
+# hidden pass.
+semoracle:
+	POLYISE_ORACLE_BUDGET=10m $(GO) test ./internal/semoracle/ -v -timeout 30m -count 1
+
+semoracle-quick:
+	POLYISE_ORACLE_BUDGET=60s $(GO) test ./internal/semoracle/ -timeout 10m -count 1
+
+# Coverage ratchet for the packages the oracle layer certifies (interp,
+# ise, multidom, exprc): new code there cannot land untested.
+coverage-floor:
+	./scripts/check_coverage.sh
+
 # Docs-drift gate: every backticked Go identifier and file path referenced
 # by docs/ALGORITHM.md must still exist in the tree, so the paper-to-code
 # map cannot silently rot.
@@ -103,8 +121,25 @@ bench-scaling:
 # after moving CI to different hardware, re-record it there with `make
 # bench-json` (or gate with a looser -regress) instead of comparing against
 # another machine's numbers.
+#
+# -regress 0.35 on this recording box: it is a single shared vCPU whose
+# neighbor load depresses whole multi-minute runs by ~25% even after
+# benchjson's best-of-three measurement windows (which absorb the
+# second-scale noise). The correctness teeth — cut counts, allocs/op, and
+# the bit-exact scenario section — keep their exact gates; only the
+# cuts/sec tripwire gets the measured noise floor. Tighten when CI moves
+# to dedicated hardware.
 bench-gate:
-	$(GO) run ./cmd/benchjson -o /tmp/bench_gate.json -quick -iters 3 -compare BENCH_PR6.json
+	$(GO) run ./cmd/benchjson -o /tmp/bench_gate.json -quick -iters 3 -regress 0.35 -compare BENCH_PR6.json -compare-scenarios BENCH_PR9.json
+
+# Re-record the end-to-end scenario section (BENCH_PR9.json): the pinned
+# pipeline scenarios (enumerate -> select -> Verilog -> interpreter
+# re-check) with every field deterministic. Unlike BENCH_PR6.json this
+# record is machine-independent — bench-gate compares it by exact
+# equality, so regenerate it (and commit the diff) whenever a pipeline
+# stage intentionally changes behaviour.
+scenario-json:
+	$(GO) run ./cmd/benchjson -scenarios BENCH_PR9.json
 
 # Profiling harness: run the tier-1 workloads — including the 220-node
 # instance that dominates the serial profile — under pprof and drop
@@ -114,9 +149,12 @@ bench-gate:
 profile:
 	$(GO) run ./cmd/benchjson -o /tmp/bench_profile.json -iters 1 -cpuprofile cpu.prof -memprofile mem.prof
 
-# Short fuzz run over the graphio parser; the committed seed corpus under
-# internal/graphio/testdata/ always runs as part of plain `make test`.
+# Short fuzz runs over the untrusted entry points: the graphio parser, the
+# expression compiler and the interpreter. The committed seed corpora under
+# each package's testdata/ always run as part of plain `make test`.
 fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/graphio/
+	$(GO) test -fuzz=FuzzExprCompile -fuzztime=30s ./internal/exprc/
+	$(GO) test -fuzz=FuzzInterpRun -fuzztime=30s ./internal/interp/
 
-ci: test test-race chaos crash docs-check diff-oracle-quick bench-gate
+ci: test test-race chaos crash docs-check diff-oracle-quick semoracle-quick coverage-floor bench-gate

@@ -54,8 +54,68 @@ import (
 	"time"
 
 	"polyise"
+	"polyise/internal/bench"
 	"polyise/internal/workload"
 )
+
+// ScenarioReport is the envelope of the end-to-end scenario record
+// (BENCH_PR9.json): the pinned pipeline scenarios of internal/bench run
+// enumerate → select → Verilog emit → interpreter re-check, with every
+// field deterministic. Unlike the timing benchmarks, scenario entries are
+// gated by exact equality — any drift in cut counts, selection, cycle
+// accounting or emitted RTL is a behaviour change, not noise — so the
+// record is machine-independent.
+type ScenarioReport struct {
+	GoVersion string                 `json:"go_version"`
+	Scenarios []bench.ScenarioResult `json:"scenarios"`
+}
+
+// runScenarios executes the pinned suite and fails loudly on any pipeline
+// error or semantic mismatch.
+func runScenarios() (ScenarioReport, error) {
+	res, err := bench.RunScenarios()
+	if err != nil {
+		return ScenarioReport{}, err
+	}
+	for _, r := range res {
+		if r.OracleMismatches != 0 {
+			return ScenarioReport{}, fmt.Errorf("scenario %s: %d semantic mismatches", r.Name, r.OracleMismatches)
+		}
+		fmt.Fprintf(os.Stderr, "%-28s n=%-4d cuts=%-5d chosen=%d cycles %d->%d rtl=%dB fnv=%s\n",
+			r.Name, r.N, r.Cuts, r.Chosen, r.CyclesBefore, r.CyclesAfter, r.VerilogBytes, r.VerilogFNV)
+	}
+	return ScenarioReport{GoVersion: runtime.Version(), Scenarios: res}, nil
+}
+
+// gateScenarios compares fresh scenario results against the committed
+// record by exact equality, entry by entry. A scenario present on only one
+// side is a failure: the suite is pinned, so adding or removing an entry
+// must come with a regenerated record.
+func gateScenarios(fresh, baseline ScenarioReport) []string {
+	base := make(map[string]bench.ScenarioResult, len(baseline.Scenarios))
+	for _, b := range baseline.Scenarios {
+		base[b.Name] = b
+	}
+	var failures []string
+	seen := map[string]bool{}
+	for _, f := range fresh.Scenarios {
+		seen[f.Name] = true
+		b, ok := base[f.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("scenario %s missing from committed record (regenerate with `make scenario-json`)", f.Name))
+			continue
+		}
+		if f != b {
+			failures = append(failures, fmt.Sprintf("scenario %s drifted:\n  fresh:    %+v\n  baseline: %+v", f.Name, f, b))
+		}
+	}
+	for _, b := range baseline.Scenarios {
+		if !seen[b.Name] {
+			failures = append(failures, fmt.Sprintf("scenario %s in committed record but not in the suite", b.Name))
+		}
+	}
+	return failures
+}
 
 // Result is one benchmark measurement.
 type Result struct {
@@ -91,7 +151,30 @@ type Report struct {
 // testing.B) until the measurement window is at least this long.
 const minMeasure = time.Second
 
+// measureWindows is how many independent measurement windows each
+// benchmark runs; the fastest window is reported. On a shared vCPU a
+// single window swings by ±40% with neighbor load, which a 15% regression
+// gate cannot survive; the minimum over a few windows estimates the
+// machine's unloaded throughput — the quantity the gate actually wants to
+// compare — the way `benchstat`-style workflows take min-time samples.
+const measureWindows = 3
+
 func measure(name string, iters int, run func(visit func(polyise.Cut) bool) polyise.Stats) Result {
+	res := measureWindow(name, iters, run)
+	for w := 1; w < measureWindows; w++ {
+		// Re-use the calibrated iteration count so later windows skip the
+		// scale-up probing.
+		if r := measureWindow(name, res.Iterations, run); r.NsPerOp < res.NsPerOp {
+			res = r
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%-32s %12d ns/op %10d allocs/op %8d cuts %12.0f cuts/sec\n",
+		res.Name, res.NsPerOp, res.AllocsPerOp, res.Cuts, res.CutsPerSec)
+	return res
+}
+
+// measureWindow takes one auto-calibrated timing window.
+func measureWindow(name string, iters int, run func(visit func(polyise.Cut) bool) polyise.Stats) Result {
 	var ms0, ms1 runtime.MemStats
 	var elapsed time.Duration
 	var stats polyise.Stats
@@ -137,8 +220,6 @@ func measure(name string, iters int, run func(visit func(polyise.Cut) bool) poly
 	if nsPerOp > 0 {
 		res.CutsPerSec = float64(cuts) / (float64(nsPerOp) / 1e9)
 	}
-	fmt.Fprintf(os.Stderr, "%-32s %12d ns/op %10d allocs/op %8d cuts %12.0f cuts/sec\n",
-		name, res.NsPerOp, res.AllocsPerOp, res.Cuts, res.CutsPerSec)
 	return res
 }
 
@@ -252,7 +333,59 @@ func run() int {
 		"fail unless the largest scaling entry reaches this speedup over serial (requires gomaxprocs ≥ 8; 0 disables)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile (after the runs) to this file")
+	scenarios := flag.String("scenarios", "",
+		"run the end-to-end pipeline scenarios and write their record to this path (then exit; e.g. BENCH_PR9.json)")
+	compareScenarios := flag.String("compare-scenarios", "",
+		"re-run the pipeline scenarios and gate exact equality against this committed record (exit 1 on drift)")
 	flag.Parse()
+
+	// Scenario modes run the deterministic end-to-end suite instead of (or
+	// in addition to) the timing benchmarks; -scenarios is a pure recording
+	// run and exits before any timing work.
+	if *scenarios != "" {
+		rep, err := runScenarios()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			return 1
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			return 1
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*scenarios, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *scenarios)
+		return 0
+	}
+	if *compareScenarios != "" {
+		raw, err := os.ReadFile(*compareScenarios)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: scenario baseline:", err)
+			return 1
+		}
+		var baseline ScenarioReport
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: scenario baseline:", err)
+			return 1
+		}
+		fresh, err := runScenarios()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			return 1
+		}
+		if failures := gateScenarios(fresh, baseline); len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintln(os.Stderr, "bench-gate FAIL:", f)
+			}
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "bench-gate: %d scenarios bit-identical to %s\n",
+			len(fresh.Scenarios), *compareScenarios)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

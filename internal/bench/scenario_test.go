@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestScenariosRunCleanAndDeterministic runs the pinned suite twice: every
+// scenario must complete with a semantically certified selection, and the
+// two runs must agree on every recorded field — the property the
+// BENCH_PR9.json exact-equality gate depends on.
+func TestScenariosRunCleanAndDeterministic(t *testing.T) {
+	a, err := RunScenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(Scenarios()) {
+		t.Fatalf("ran %d scenarios, suite has %d", len(a), len(Scenarios()))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("scenario %s not deterministic:\n%+v\n%+v", a[i].Name, a[i], b[i])
+		}
+		if a[i].OracleMismatches != 0 {
+			t.Errorf("scenario %s: %d semantic mismatches", a[i].Name, a[i].OracleMismatches)
+		}
+		if a[i].Chosen > 0 && a[i].VerilogBytes == 0 {
+			t.Errorf("scenario %s: %d instructions selected but no RTL emitted", a[i].Name, a[i].Chosen)
+		}
+		if a[i].Cuts == 0 {
+			t.Errorf("scenario %s: zero cuts — vacuous", a[i].Name)
+		}
+	}
+}
+
+// TestScenarioSweepsActuallySweep pins that the constraint axes bind:
+// widening the I/O budget must not shrink the cut population, and
+// forbidding ops must change it.
+func TestScenarioSweepsActuallySweep(t *testing.T) {
+	res, err := RunScenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ScenarioResult{}
+	for _, r := range res {
+		byName[r.Name] = r
+	}
+	io := []string{"io-2x1/mibench-n40", "io-3x1/mibench-n40", "io-4x2/mibench-n40", "io-6x3/mibench-n40"}
+	for i := 1; i < len(io); i++ {
+		if byName[io[i]].Cuts < byName[io[i-1]].Cuts {
+			t.Errorf("%s has fewer cuts (%d) than narrower %s (%d)",
+				io[i], byName[io[i]].Cuts, io[i-1], byName[io[i-1]].Cuts)
+		}
+	}
+	if byName["isa-no-mul/fir4"].Cuts >= byName["isa-full/fir4"].Cuts {
+		t.Errorf("forbidding multipliers did not shrink fir4's cut population (%d vs %d)",
+			byName["isa-no-mul/fir4"].Cuts, byName["isa-full/fir4"].Cuts)
+	}
+	if mem := byName["mem/mem-kernel"]; mem.Cuts == 0 {
+		t.Error("memory scenario enumerated no cuts")
+	}
+	if b1 := byName["budget-1insn/fir4"]; b1.Chosen > 1 {
+		t.Errorf("budget-1insn selected %d instructions", b1.Chosen)
+	}
+}
+
+// TestScenarioUnknownBlockFails pins the failure mode: a scenario naming a
+// block outside the corpus must error, not record zeros.
+func TestScenarioUnknownBlockFails(t *testing.T) {
+	_, err := RunScenario(Scenario{Name: "bogus", Block: "nope", Nin: 4, Nout: 2})
+	if err == nil || !strings.Contains(err.Error(), "unknown block") {
+		t.Fatalf("err = %v, want unknown block", err)
+	}
+}

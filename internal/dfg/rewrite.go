@@ -83,6 +83,11 @@ func (g *Graph) ExtractCut(S *bitset.Set) (*Graph, map[int]int, error) {
 // OpExtract selectors (payload = result index) and consumers are rewired to
 // those. The returned mapping translates surviving original ids to new ids.
 //
+// The rewrite preserves the relative order of the graph's external inputs:
+// collapsed.Roots()[i] is mapping[g.Roots()[i]] for every i. Positional
+// environments (interp.Env.RootValues) depend on this contract to run the
+// original and the collapsed block on the same inputs.
+//
 // Custom and extract nodes are implicitly forbidden, so repeated
 // identification never re-absorbs an already-selected instruction.
 func (g *Graph) CollapseCut(S *bitset.Set, name string, latencyCycles int) (*Graph, map[int]int, error) {
@@ -201,6 +206,21 @@ func (g *Graph) CollapseCut(S *bitset.Set, name string, latencyCycles int) (*Gra
 		return id, nil
 	}
 
+	// Emit every root first, in root order. Without this, demand-driven
+	// emission reorders roots: a cut input that is a root with an id above
+	// the first rewired consumer would be pulled forward by emitCustom,
+	// shifting every root in between and silently breaking positional
+	// RootValues environments (the semantic oracle caught exactly this on a
+	// disconnected two-output cut). Roots have no predecessors, so emitting
+	// them early cannot violate the topological id order.
+	for _, r := range g.Roots() {
+		if S.Has(r) {
+			continue // unreachable: external inputs are forbidden in cuts
+		}
+		if _, err := emitNode(r); err != nil {
+			return nil, nil, err
+		}
+	}
 	for _, v := range g.Topo() {
 		if S.Has(v) {
 			continue

@@ -1,0 +1,159 @@
+package interp
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"polyise/internal/bitset"
+	"polyise/internal/dfg"
+	"polyise/internal/graphio"
+	"polyise/internal/workload"
+)
+
+func TestSeededMemoryDeterministicAndObservable(t *testing.T) {
+	a := NewSeededMemory(7)
+	b := NewSeededMemory(7)
+	for _, addr := range []int32{0, 1, -1, 1 << 20, -(1 << 20)} {
+		if a.Load(addr) != b.Load(addr) {
+			t.Fatalf("same seed disagrees at %d", addr)
+		}
+	}
+	if NewSeededMemory(7).Load(100) == NewSeededMemory(8).Load(100) {
+		t.Fatal("different seeds agree at 100 — contents not seeded")
+	}
+	if !a.Equal(b) {
+		t.Fatal("loads must not affect equality")
+	}
+	a.Store(4, 9)
+	if a.Equal(b) {
+		t.Fatal("write to one memory not observed")
+	}
+	b.Store(4, 9)
+	if !a.Equal(b) {
+		t.Fatal("identical writes should restore equality")
+	}
+	if a.Load(4) != 9 {
+		t.Fatalf("written cell reads %d, want 9", a.Load(4))
+	}
+	b.Store(4, 10)
+	if a.Equal(b) {
+		t.Fatal("differing value at same cell not observed")
+	}
+	if got := len(a.Writes()); got != 1 {
+		t.Fatalf("Writes() has %d cells, want 1", got)
+	}
+	// The zero-default trap SeededMemory exists to avoid: untouched cells
+	// must not all read as one value.
+	seen := map[int32]bool{}
+	for addr := int32(0); addr < 64; addr++ {
+		seen[a.Load(addr*1000+1)] = true
+	}
+	if len(seen) < 32 {
+		t.Fatalf("untouched cells look constant: %d distinct values in 64 loads", len(seen))
+	}
+}
+
+func TestRandomEnvCoversRootsAndIsSeedDeterministic(t *testing.T) {
+	g := workload.MiBenchLike(rand.New(rand.NewSource(3)), 30, workload.DefaultProfile())
+	e1 := RandomEnv(rand.New(rand.NewSource(11)), g)
+	e2 := RandomEnv(rand.New(rand.NewSource(11)), g)
+	if len(e1.RootValues) != len(g.Roots()) {
+		t.Fatalf("env has %d root values, graph has %d roots", len(e1.RootValues), len(g.Roots()))
+	}
+	for i := range e1.RootValues {
+		if e1.RootValues[i] != e2.RootValues[i] {
+			t.Fatal("same source, different root values")
+		}
+	}
+	m1, ok1 := e1.Mem.(*SeededMemory)
+	m2, ok2 := e2.Mem.(*SeededMemory)
+	if !ok1 || !ok2 {
+		t.Fatal("RandomEnv memory is not seeded")
+	}
+	if !m1.Equal(m2) {
+		t.Fatal("same source, different memory seeds")
+	}
+	if _, err := Run(g, e1); err != nil {
+		t.Fatalf("generated env does not execute: %v", err)
+	}
+}
+
+func TestCutFnMatchesInPlaceEvaluation(t *testing.T) {
+	g := workload.MiBenchLike(rand.New(rand.NewSource(21)), 24, workload.DefaultProfile())
+	// Pick a deterministic small convex cut: a non-forbidden node with one
+	// non-forbidden, non-root predecessor.
+	for v := 0; v < g.N(); v++ {
+		if g.IsForbidden(v) {
+			continue
+		}
+		for _, p := range g.Preds(v) {
+			if g.IsForbidden(p) || g.IsRoot(p) {
+				continue
+			}
+			S := bitset.FromMembers(g.N(), v, p)
+			if !g.IsConvex(S) {
+				continue
+			}
+			outs := g.Outputs(S)
+			fn, err := CutFn(g, S, outs)
+			if err != nil {
+				t.Fatalf("CutFn: %v", err)
+			}
+			env := RandomEnv(rand.New(rand.NewSource(5)), g)
+			res, err := Run(g, env)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			args := make([]int32, 0, 4)
+			for _, in := range g.Inputs(S) {
+				args = append(args, res.Values[in])
+			}
+			got := fn(args)
+			for i, o := range outs {
+				if got[i] != res.Values[o] {
+					t.Fatalf("cut output %d: fn=%d in-place=%d", o, got[i], res.Values[o])
+				}
+			}
+			return
+		}
+	}
+	t.Fatal("no suitable cut found in the test graph")
+}
+
+func TestRunRejectsUnderfedOperands(t *testing.T) {
+	// graphio.Read deliberately does not enforce arity, so deserialized
+	// hostile graphs can underfeed an operation; Run must refuse, not
+	// panic.
+	src := "node var name=a\nnode add preds=0\n"
+	g, err := graphio.Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if _, err := Run(g, Env{}); err == nil || !strings.Contains(err.Error(), "operands") {
+		t.Fatalf("underfed add: err = %v, want operand-count error", err)
+	}
+}
+
+func TestRunIgnoresDependenceOperands(t *testing.T) {
+	// Stores and loads carry extra operands as memory-ordering edges (the
+	// workload generator's convention); execution must use only the
+	// documented operands.
+	g := dfg.New()
+	p := g.MustAddNode(dfg.OpVar, "p")
+	x := g.MustAddNode(dfg.OpVar, "x")
+	st := g.MustAddNode(dfg.OpStore, "", p, x)
+	// A load ordered after the store via a third, dependence-only operand.
+	ld := g.MustAddNode(dfg.OpLoad, "", p, st)
+	if err := g.MarkLiveOut(ld); err != nil {
+		t.Fatal(err)
+	}
+	fg := g.MustFreeze()
+	res, err := Run(fg, Env{RootValues: []int32{64, 5}})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Values[ld] != 5 {
+		t.Fatalf("load after store reads %d, want 5", res.Values[ld])
+	}
+}

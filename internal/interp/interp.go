@@ -8,7 +8,9 @@ package interp
 
 import (
 	"fmt"
+	"math/rand"
 
+	"polyise/internal/bitset"
 	"polyise/internal/dfg"
 )
 
@@ -63,6 +65,13 @@ func (r Result) LiveOuts(g *dfg.Graph) []int32 {
 }
 
 // Run executes the frozen graph in topological order.
+//
+// Run is total over frozen graphs: a graph whose nodes carry fewer operands
+// than their operation requires (possible through hand-built or deserialized
+// graphs — neither AddNode nor the graphio parser enforces arity) is
+// reported as an error, never a panic. Extra operands beyond an operation's
+// arity are ignored; by convention they are dependence edges (the memory-
+// ordering edges the workload generator emits).
 func Run(g *dfg.Graph, env Env) (Result, error) {
 	mem := env.Mem
 	if mem == nil {
@@ -84,6 +93,10 @@ func Run(g *dfg.Graph, env Env) (Result, error) {
 
 	for _, v := range g.Topo() {
 		preds := g.Preds(v)
+		if want := g.Op(v).Arity(); want > 0 && len(preds) < want {
+			return Result{}, fmt.Errorf("interp: node %d (%v) has %d operands, needs %d",
+				v, g.Op(v), len(preds), want)
+		}
 		a := func(i int) int32 { return vals[preds[i]] }
 		switch g.Op(v) {
 		case dfg.OpVar:
@@ -203,6 +216,85 @@ func CutEvaluator(extracted *dfg.Graph, outputIDs []int) CustomFn {
 		}
 		return vals
 	}
+}
+
+// SeededMemory is a Memory whose never-written cells read as a pseudorandom
+// function of the address instead of zero. Differential checks want this:
+// under FlatMemory every load of an untouched cell returns 0, so two runs
+// that disagree on which address they load can still agree on every value.
+// With seeded contents, any divergence in load addresses or in load/store
+// ordering shows up as a value difference.
+type SeededMemory struct {
+	seed   uint64
+	writes map[int32]int32
+}
+
+// NewSeededMemory creates a SeededMemory with the given content seed. Two
+// memories with the same seed present identical initial contents.
+func NewSeededMemory(seed uint64) *SeededMemory {
+	return &SeededMemory{seed: seed, writes: make(map[int32]int32)}
+}
+
+// Load returns the written value, or the seeded pseudorandom content of an
+// untouched cell.
+func (m *SeededMemory) Load(addr int32) int32 {
+	if v, ok := m.writes[addr]; ok {
+		return v
+	}
+	// splitmix64 of seed⊕addr: cheap, well-mixed cell contents.
+	z := m.seed ^ uint64(uint32(addr))
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int32(z ^ (z >> 31))
+}
+
+// Store writes the word at addr.
+func (m *SeededMemory) Store(addr, val int32) { m.writes[addr] = val }
+
+// Equal reports whether two seeded memories are observably identical: same
+// initial contents (seed) and the same set of written cells and values.
+func (m *SeededMemory) Equal(o *SeededMemory) bool {
+	if m.seed != o.seed || len(m.writes) != len(o.writes) {
+		return false
+	}
+	for addr, v := range m.writes {
+		if ov, ok := o.writes[addr]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Writes returns the cells the execution stored to; read-only.
+func (m *SeededMemory) Writes() map[int32]int32 { return m.writes }
+
+// RandomEnv builds a randomized execution environment for g: uniformly
+// random 32-bit values for every root and a SeededMemory with contents
+// drawn from the same source. Environments are deterministic in the
+// source's state, so a failing configuration is reproducible from its seed.
+func RandomEnv(r *rand.Rand, g *dfg.Graph) Env {
+	vals := make([]int32, len(g.Roots()))
+	for i := range vals {
+		vals[i] = int32(r.Uint32())
+	}
+	return Env{RootValues: vals, Mem: NewSeededMemory(r.Uint64())}
+}
+
+// CutFn builds the interpreter-backed implementation of one cut of g: the
+// extracted datapath (dfg.Graph.ExtractCut) wrapped as a CustomFn whose
+// results follow the cut's original output order — exactly the function
+// CollapseCut's custom node needs to execute the collapsed graph under Run.
+func CutFn(g *dfg.Graph, nodes *bitset.Set, outputs []int) (CustomFn, error) {
+	extracted, mapping, err := g.ExtractCut(nodes)
+	if err != nil {
+		return nil, err
+	}
+	outIDs := make([]int, len(outputs))
+	for i, o := range outputs {
+		outIDs[i] = mapping[o]
+	}
+	return CutEvaluator(extracted, outIDs), nil
 }
 
 func b2i(b bool) int32 {

@@ -1,0 +1,158 @@
+package ise_test
+
+import (
+	"strings"
+	"testing"
+
+	"polyise/internal/bitset"
+	"polyise/internal/dfg"
+	"polyise/internal/enum"
+	"polyise/internal/ise"
+	"polyise/internal/semoracle"
+	"polyise/internal/workload"
+)
+
+// Edge-case pins for the cost model and selector, in an external test
+// package so they can hold selections to the semoracle invariant checker —
+// the same one the scenario benchmarks enforce.
+
+// TestEstimateZeroLatencyCut pins the hardware-latency clamp: a cut whose
+// every operation is free in both software and hardware (constants) still
+// costs at least one issue cycle, so its saving is negative and the
+// selector must never take it.
+func TestEstimateZeroLatencyCut(t *testing.T) {
+	g := dfg.New()
+	a := g.MustAddNode(dfg.OpVar, "a")
+	c1 := g.MustAddNode(dfg.OpConst, "")
+	if err := g.SetConst(c1, 3); err != nil {
+		t.Fatal(err)
+	}
+	add := g.MustAddNode(dfg.OpAdd, "", a, c1)
+	if err := g.MarkLiveOut(add); err != nil {
+		t.Fatal(err)
+	}
+	fg := g.MustFreeze()
+
+	S := bitset.FromMembers(fg.N(), c1)
+	cut := enum.Cut{Nodes: S, Inputs: fg.Inputs(S), Outputs: fg.Outputs(S)}
+	est := ise.NewEstimator(fg, ise.DefaultModel()).Estimate(cut)
+	if est.SWCycles != 0 {
+		t.Fatalf("constant cut has SWCycles %d, want 0", est.SWCycles)
+	}
+	if est.HWCycles < 1 {
+		t.Fatalf("HWCycles %d violates the >= 1 clamp", est.HWCycles)
+	}
+	if est.Saving >= 0 {
+		t.Fatalf("free-op cut has saving %d, want negative", est.Saving)
+	}
+	sel := ise.Select(fg, ise.DefaultModel(), []enum.Cut{cut}, ise.SelectOptions{})
+	if len(sel.Chosen) != 0 {
+		t.Fatalf("selector took a negative-saving cut: %v", sel.Chosen)
+	}
+}
+
+// TestSelectEmptySelectionAccounting pins the no-candidates path: with
+// nothing worth selecting the block's cycle count must be untouched and
+// the speedup exactly 1.
+func TestSelectEmptySelectionAccounting(t *testing.T) {
+	g := dfg.New()
+	a := g.MustAddNode(dfg.OpVar, "a")
+	b := g.MustAddNode(dfg.OpVar, "b")
+	add := g.MustAddNode(dfg.OpAdd, "", a, b)
+	if err := g.MarkLiveOut(add); err != nil {
+		t.Fatal(err)
+	}
+	fg := g.MustFreeze()
+	sel := ise.Select(fg, ise.DefaultModel(), nil, ise.DefaultSelectOptions())
+	if len(sel.Chosen) != 0 || sel.TotalArea != 0 {
+		t.Fatalf("empty candidate list selected %d cuts, area %.1f", len(sel.Chosen), sel.TotalArea)
+	}
+	if sel.BlockCyclesAfter != sel.BlockCyclesBefore {
+		t.Fatalf("empty selection changed cycles: %d -> %d", sel.BlockCyclesBefore, sel.BlockCyclesAfter)
+	}
+	if sel.Speedup() != 1 {
+		t.Fatalf("empty selection reports speedup %.3f, want 1", sel.Speedup())
+	}
+}
+
+// TestSelectNeverTakesNegativeSaving pins the Saving > 0 guard
+// independently of MinSaving: even an explicitly negative MinSaving must
+// not admit cuts that slow the block down.
+func TestSelectNeverTakesNegativeSaving(t *testing.T) {
+	g := workload.SelectionCorpus()[0].G // fir4
+	cuts, _ := enum.CollectAll(g, enum.DefaultOptions())
+	sel := ise.Select(g, ise.DefaultModel(), cuts, ise.SelectOptions{MinSaving: -100})
+	if len(sel.Chosen) == 0 {
+		t.Fatal("fir4 should still yield profitable cuts")
+	}
+	for _, c := range sel.Chosen {
+		if c.Saving <= 0 {
+			t.Fatalf("selected cut with saving %d", c.Saving)
+		}
+	}
+}
+
+// TestSelectExactZeroLimitUsesDefault pins the ExactLimit fix: Exact with
+// a zero (unset) limit must run the branch-and-bound at the default limit
+// instead of silently degrading to greedy. The trap graph chains two
+// divisions through an add: the whole-chain cut has the single largest
+// saving (26) and greedy grabs it, but the two separate division cuts
+// save 14 + 14 = 28, so the two modes provably differ.
+func TestSelectExactZeroLimitUsesDefault(t *testing.T) {
+	g := trapGraph(t)
+	cuts, _ := enum.CollectAll(g, enum.DefaultOptions())
+	m := ise.DefaultModel()
+	explicit := ise.Select(g, m, cuts, ise.SelectOptions{MinSaving: 1, Exact: true, ExactLimit: 24})
+	unset := ise.Select(g, m, cuts, ise.SelectOptions{MinSaving: 1, Exact: true})
+	if got, want := saving(unset), saving(explicit); got != want {
+		t.Fatalf("Exact with zero ExactLimit saves %d, explicit limit saves %d", got, want)
+	}
+	greedy := ise.Select(g, m, cuts, ise.SelectOptions{MinSaving: 1})
+	if saving(greedy) >= saving(explicit) {
+		t.Fatalf("trap graph no longer separates greedy (%d) from exact (%d); the regression is unobservable",
+			saving(greedy), saving(explicit))
+	}
+}
+
+// TestSelectionInvariantsOnEveryCorpusBlock holds the default greedy
+// selection on every selection-corpus instance to the semoracle invariant
+// set: disjointness, port bounds, budget compliance and exact cycle
+// accounting.
+func TestSelectionInvariantsOnEveryCorpusBlock(t *testing.T) {
+	for _, blk := range workload.SelectionCorpus() {
+		eopt := enum.DefaultOptions()
+		sopt := ise.DefaultSelectOptions()
+		cuts, _ := enum.CollectAll(blk.G, eopt)
+		sel := ise.Select(blk.G, ise.DefaultModel(), cuts, sopt)
+		if problems := semoracle.Invariants(blk.G, sel, eopt, sopt); len(problems) > 0 {
+			t.Errorf("%s: %s", blk.Name, strings.Join(problems, "; "))
+		}
+	}
+}
+
+// trapGraph builds d1 = a/b; p1 = d1 + c; d2 = p1/e. Under the default
+// model the serialized whole-chain cut pays the full critical path
+// (hw 11, saving 26) yet sorts first, while the two division cuts it
+// blocks save 14 each — the canonical shape where greedy selection is
+// provably suboptimal.
+func trapGraph(t *testing.T) *dfg.Graph {
+	t.Helper()
+	g := dfg.New()
+	in := func(name string) int { return g.MustAddNode(dfg.OpVar, name) }
+	a, b, c, e := in("a"), in("b"), in("c"), in("e")
+	d1 := g.MustAddNode(dfg.OpDiv, "", a, b)
+	p1 := g.MustAddNode(dfg.OpAdd, "", d1, c)
+	d2 := g.MustAddNode(dfg.OpDiv, "", p1, e)
+	if err := g.MarkLiveOut(d2); err != nil {
+		t.Fatal(err)
+	}
+	return g.MustFreeze()
+}
+
+func saving(s ise.Selection) int {
+	total := 0
+	for _, c := range s.Chosen {
+		total += c.Saving
+	}
+	return total
+}

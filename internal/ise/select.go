@@ -73,6 +73,12 @@ func Select(g *dfg.Graph, m Model, cuts []enum.Cut, opt SelectOptions) Selection
 		return cands[i].Cut.Nodes.Signature() < cands[j].Cut.Nodes.Signature()
 	})
 
+	// A zero ExactLimit with Exact set would silently degrade every request
+	// to the greedy heuristic (len(cands) <= 0 only holds for an empty
+	// list); treat zero as "unset" and apply the default limit instead.
+	if opt.Exact && opt.ExactLimit == 0 {
+		opt.ExactLimit = DefaultSelectOptions().ExactLimit
+	}
 	var chosen []Estimate
 	if opt.Exact && len(cands) <= opt.ExactLimit {
 		chosen = exactSelect(g.N(), cands, opt)

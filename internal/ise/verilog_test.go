@@ -1,0 +1,161 @@
+package ise_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"polyise/internal/bitset"
+	"polyise/internal/dfg"
+	"polyise/internal/enum"
+	"polyise/internal/ise"
+	"polyise/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite the .golden files with current output")
+
+// compareGolden pins got byte-for-byte against testdata/<name>.golden.
+// Regenerate with `go test ./internal/ise/ -run Golden -update` and review
+// the diff: RTL output is an external interface, so any change must be
+// deliberate.
+func compareGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// allOpsGraph covers every operation WriteVerilog can emit, so the golden
+// file pins each RTL template, including the unnamed-port fallback and the
+// signed-shift and comparison idioms.
+func allOpsGraph(t *testing.T) (*dfg.Graph, enum.Cut) {
+	t.Helper()
+	g := dfg.New()
+	a := g.MustAddNode(dfg.OpVar, "a")
+	b := g.MustAddNode(dfg.OpVar, "b")
+	c := g.MustAddNode(dfg.OpConst, "") // unnamed: exercises the in<N> fallback
+	if err := g.SetConst(c, -7); err != nil {
+		t.Fatal(err)
+	}
+
+	add := g.MustAddNode(dfg.OpAdd, "", a, b)
+	sub := g.MustAddNode(dfg.OpSub, "", add, c)
+	mul := g.MustAddNode(dfg.OpMul, "", sub, a)
+	div := g.MustAddNode(dfg.OpDiv, "", mul, b)
+	rem := g.MustAddNode(dfg.OpRem, "", div, b)
+	and := g.MustAddNode(dfg.OpAnd, "", rem, a)
+	or := g.MustAddNode(dfg.OpOr, "", and, b)
+	xor := g.MustAddNode(dfg.OpXor, "", or, a)
+	not := g.MustAddNode(dfg.OpNot, "", xor)
+	neg := g.MustAddNode(dfg.OpNeg, "", not)
+	shl := g.MustAddNode(dfg.OpShl, "", neg, a)
+	shr := g.MustAddNode(dfg.OpShr, "", shl, b)
+	sar := g.MustAddNode(dfg.OpSar, "", shr, a)
+	eq := g.MustAddNode(dfg.OpCmpEQ, "", sar, b)
+	ne := g.MustAddNode(dfg.OpCmpNE, "", eq, a)
+	lt := g.MustAddNode(dfg.OpCmpLT, "", ne, b)
+	le := g.MustAddNode(dfg.OpCmpLE, "", lt, a)
+	sel := g.MustAddNode(dfg.OpSelect, "", le, a, b)
+	mn := g.MustAddNode(dfg.OpMin, "", sel, a)
+	mx := g.MustAddNode(dfg.OpMax, "", mn, b)
+	ab := g.MustAddNode(dfg.OpAbs, "", mx)
+	if err := g.MarkLiveOut(ab); err != nil {
+		t.Fatal(err)
+	}
+	fg := g.MustFreeze()
+
+	S := bitset.New(fg.N())
+	for v := 0; v < fg.N(); v++ {
+		if !fg.IsRoot(v) {
+			S.Add(v)
+		}
+	}
+	return fg, enum.Cut{Nodes: S, Inputs: fg.Inputs(S), Outputs: fg.Outputs(S)}
+}
+
+func TestWriteVerilogAllOpsGolden(t *testing.T) {
+	g, cut := allOpsGraph(t)
+	var sb strings.Builder
+	if err := ise.WriteVerilog(&sb, g, cut, "all_ops"); err != nil {
+		t.Fatalf("WriteVerilog: %v", err)
+	}
+	compareGolden(t, "verilog_all_ops", sb.String())
+}
+
+// TestWriteVerilogSelectionGolden pins the RTL for every instruction the
+// selector actually chooses on the named corpus kernels — the end product
+// of the pipeline, exactly as the scenario benchmarks hash it.
+func TestWriteVerilogSelectionGolden(t *testing.T) {
+	for _, name := range []string{"fir4", "hash-round", "mem-kernel"} {
+		t.Run(name, func(t *testing.T) {
+			var blk *workload.SelBlock
+			for i, b := range workload.SelectionCorpus() {
+				if b.Name == name {
+					blk = &workload.SelectionCorpus()[i]
+					break
+				}
+			}
+			if blk == nil {
+				t.Fatalf("block %q not in selection corpus", name)
+			}
+			cuts, _ := enum.CollectAll(blk.G, enum.DefaultOptions())
+			sel := ise.Select(blk.G, ise.DefaultModel(), cuts, ise.DefaultSelectOptions())
+			if len(sel.Chosen) == 0 {
+				t.Fatalf("selector chose nothing on %s; golden would be empty", name)
+			}
+			var sb strings.Builder
+			for i, c := range sel.Chosen {
+				if i > 0 {
+					sb.WriteString("\n")
+				}
+				if err := ise.WriteVerilog(&sb, blk.G, c.Cut, fmt.Sprintf("ise%d", i)); err != nil {
+					t.Fatalf("WriteVerilog ise%d: %v", i, err)
+				}
+			}
+			compareGolden(t, "verilog_"+name, sb.String())
+		})
+	}
+}
+
+func TestWriteVerilogRejectsNonRTLOps(t *testing.T) {
+	g := dfg.New()
+	p := g.MustAddNode(dfg.OpVar, "p")
+	ld := g.MustAddNode(dfg.OpLoad, "", p)
+	if err := g.MarkLiveOut(ld); err != nil {
+		t.Fatal(err)
+	}
+	fg := g.MustFreeze()
+	S := bitset.FromMembers(fg.N(), ld)
+	cut := enum.Cut{Nodes: S, Inputs: fg.Inputs(S), Outputs: fg.Outputs(S)}
+	err := ise.WriteVerilog(&strings.Builder{}, fg, cut, "bad")
+	if err == nil || !strings.Contains(err.Error(), "RTL") {
+		t.Fatalf("load in cut: err = %v, want RTL-emission refusal", err)
+	}
+}
+
+func TestWriteVerilogDefaultModuleName(t *testing.T) {
+	g, cut := allOpsGraph(t)
+	var sb strings.Builder
+	if err := ise.WriteVerilog(&sb, g, cut, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "module ise_unit (") {
+		t.Fatal("empty name did not fall back to ise_unit")
+	}
+}

@@ -1,0 +1,80 @@
+package semoracle
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"polyise/internal/enum"
+	"polyise/internal/ise"
+	"polyise/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestSelectionCorpusGolden pins the full selection outcome — chosen
+// instructions, cost-model accounting, speedup — of every selection-corpus
+// instance, byte-exact. A diff here means the enumerator order, the cost
+// model, or the selector changed behaviour; if the change is intended,
+// regenerate with `go test ./internal/semoracle/ -run Golden -update`.
+func TestSelectionCorpusGolden(t *testing.T) {
+	m := ise.DefaultModel()
+	eopt := enum.DefaultOptions()
+	sopt := ise.DefaultSelectOptions()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Selection outcomes under DefaultModel, Nin=%d Nout=%d, MinSaving=%d.\n",
+		eopt.MaxInputs, eopt.MaxOutputs, sopt.MinSaving)
+	fmt.Fprintf(&b, "# Regenerate: go test ./internal/semoracle/ -run Golden -update\n")
+	for _, blk := range workload.SelectionCorpus() {
+		cuts, stats := enum.CollectAll(blk.G, eopt)
+		if stats.StopReason != enum.StopNone {
+			t.Fatalf("%s: enumeration stopped: %v", blk.Name, stats.StopReason)
+		}
+		sel := ise.Select(blk.G, m, cuts, sopt)
+		if bad := Invariants(blk.G, sel, eopt, sopt); len(bad) != 0 {
+			t.Fatalf("%s: selection violates invariants: %v", blk.Name, bad)
+		}
+		fmt.Fprintf(&b, "\n%s: n=%d cuts=%d\n", blk.Name, blk.G.N(), len(cuts))
+		for i, c := range sel.Chosen {
+			fmt.Fprintf(&b, "  chosen[%d] = %s\n", i, c.String())
+		}
+		fmt.Fprintf(&b, "  cycles %d -> %d, area %.1f, speedup %.3f\n",
+			sel.BlockCyclesBefore, sel.BlockCyclesAfter, sel.TotalArea, sel.Speedup())
+
+		it, err := ise.IterativeIdentify(blk.G, eopt, m, 4)
+		if err != nil {
+			t.Fatalf("%s: iterative: %v", blk.Name, err)
+		}
+		fmt.Fprintf(&b, "  iterative rounds=%d cycles %d -> %d, speedup %.3f\n",
+			len(it.Rounds), it.CyclesBefore, it.CyclesAfter, it.Speedup())
+	}
+
+	compareGolden(t, filepath.Join("testdata", "selection_corpus.golden"), b.String())
+}
+
+// compareGolden diffs got against the named golden file, rewriting the
+// file under -update.
+func compareGolden(t *testing.T, path, got string) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if string(want) != got {
+		t.Fatalf("output differs from %s (regenerate with -update if intended)\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}

@@ -1,0 +1,225 @@
+package semoracle
+
+import (
+	"fmt"
+
+	"polyise/internal/bitset"
+	"polyise/internal/dfg"
+	"polyise/internal/enum"
+	"polyise/internal/ise"
+)
+
+// This file cross-checks instruction selection against an exhaustive
+// reference. ise.Select's exact mode is branch-and-bound and its greedy
+// mode is a heuristic; the reference below is deliberately the dumbest
+// possible correct algorithm — a full include/exclude sweep over the
+// candidate list with no bounding — so a scoring or pruning bug in either
+// production path cannot also live here.
+
+// RefLimit bounds the candidate count the exhaustive reference accepts:
+// 2^RefLimit feasibility checks is the worst case, which stays well under
+// a second at 22.
+const RefLimit = 22
+
+// TooManyCandidatesError is returned when an instance exceeds RefLimit —
+// the reference refuses rather than silently degrade, so a corpus that
+// drifts out of exhaustive range fails loudly.
+type TooManyCandidatesError struct {
+	Candidates int
+}
+
+func (e *TooManyCandidatesError) Error() string {
+	return fmt.Sprintf("semoracle: %d candidates exceed the exhaustive reference limit %d",
+		e.Candidates, RefLimit)
+}
+
+// ReferenceSelect computes the optimal total saving over every subset of
+// the candidate cuts (scored and filtered exactly like ise.Select: saving
+// at least max(MinSaving, 1)) that is vertex-disjoint and within
+// opt.MaxInstructions / opt.AreaBudget. It refuses instances with more
+// than RefLimit candidates.
+func ReferenceSelect(g *dfg.Graph, m ise.Model, cuts []enum.Cut, opt ise.SelectOptions) (int, error) {
+	est := ise.NewEstimator(g, m)
+	var cands []ise.Estimate
+	for _, c := range cuts {
+		s := est.Estimate(c)
+		if s.Saving >= opt.MinSaving && s.Saving > 0 {
+			cands = append(cands, s)
+		}
+	}
+	if len(cands) > RefLimit {
+		return 0, &TooManyCandidatesError{Candidates: len(cands)}
+	}
+	best := 0
+	used := bitset.New(g.N())
+	var rec func(i, taken, saving int, area float64)
+	rec = func(i, taken, saving int, area float64) {
+		if saving > best {
+			best = saving
+		}
+		if i == len(cands) {
+			return
+		}
+		c := cands[i]
+		if !(opt.MaxInstructions > 0 && taken >= opt.MaxInstructions) &&
+			!(opt.AreaBudget > 0 && area+c.Area > opt.AreaBudget) &&
+			!used.Intersects(c.Cut.Nodes) {
+			used.Union(c.Cut.Nodes)
+			rec(i+1, taken+1, saving+c.Saving, area+c.Area)
+			used.Subtract(c.Cut.Nodes)
+		}
+		rec(i+1, taken, saving, area)
+	}
+	rec(0, 0, 0, 0)
+	return best, nil
+}
+
+// Invariants returns every structural violation of a selection: chosen
+// instructions must be vertex-disjoint, within the instruction-count and
+// area budgets, within the I/O port budgets the cuts were enumerated
+// under, and each must save at least max(MinSaving, 1) cycles. An empty
+// slice means the selection is well-formed. The accounting identity
+// (BlockCyclesAfter = BlockCyclesBefore − Σ saving, clamped at 1) is
+// checked too, so Model drift cannot silently skew reported speedups.
+func Invariants(g *dfg.Graph, sel ise.Selection, eopt enum.Options, sopt ise.SelectOptions) []string {
+	var bad []string
+	used := bitset.New(g.N())
+	saved := 0
+	area := 0.0
+	minSaving := sopt.MinSaving
+	if minSaving < 1 {
+		minSaving = 1
+	}
+	for i, c := range sel.Chosen {
+		if used.Intersects(c.Cut.Nodes) {
+			bad = append(bad, fmt.Sprintf("instruction %d overlaps an earlier one: %v", i, c.Cut))
+		}
+		used.Union(c.Cut.Nodes)
+		if len(c.Cut.Inputs) > eopt.MaxInputs {
+			bad = append(bad, fmt.Sprintf("instruction %d has %d inputs > Nin=%d", i, len(c.Cut.Inputs), eopt.MaxInputs))
+		}
+		if len(c.Cut.Outputs) > eopt.MaxOutputs {
+			bad = append(bad, fmt.Sprintf("instruction %d has %d outputs > Nout=%d", i, len(c.Cut.Outputs), eopt.MaxOutputs))
+		}
+		if c.Saving < minSaving {
+			bad = append(bad, fmt.Sprintf("instruction %d saves %d < %d cycles", i, c.Saving, minSaving))
+		}
+		saved += c.Saving
+		area += c.Area
+	}
+	if sopt.MaxInstructions > 0 && len(sel.Chosen) > sopt.MaxInstructions {
+		bad = append(bad, fmt.Sprintf("%d instructions > budget %d", len(sel.Chosen), sopt.MaxInstructions))
+	}
+	if sopt.AreaBudget > 0 && sel.TotalArea > sopt.AreaBudget {
+		bad = append(bad, fmt.Sprintf("area %.1f > budget %.1f", sel.TotalArea, sopt.AreaBudget))
+	}
+	wantAfter := sel.BlockCyclesBefore - saved
+	if wantAfter < 1 && sel.BlockCyclesBefore > 0 {
+		wantAfter = 1
+	}
+	if sel.BlockCyclesAfter != wantAfter {
+		bad = append(bad, fmt.Sprintf("cycle accounting: after=%d, want %d (before=%d − saved=%d)",
+			sel.BlockCyclesAfter, wantAfter, sel.BlockCyclesBefore, saved))
+	}
+	return bad
+}
+
+// SelReport is the outcome of one CheckSelection comparison.
+type SelReport struct {
+	Name       string
+	Candidates int // cuts enumerated on the instance
+	// GreedySaving, ExactSaving and RefSaving are the total saved cycles
+	// of the greedy heuristic, the branch-and-bound exact mode, and the
+	// exhaustive reference.
+	GreedySaving, ExactSaving, RefSaving int
+	// Err carries an enumeration error or a reference refusal
+	// (*TooManyCandidatesError), making the comparison inconclusive.
+	Err error
+	// Problems lists every check that failed (capped at MaxExamples).
+	Problems []string
+}
+
+// Agree reports whether selection passed every check.
+func (r SelReport) Agree() bool { return r.Err == nil && len(r.Problems) == 0 }
+
+// String renders the report in one line, with detail only on failure.
+func (r SelReport) String() string {
+	s := fmt.Sprintf("%s: cuts=%d greedy=%d exact=%d ref=%d",
+		r.Name, r.Candidates, r.GreedySaving, r.ExactSaving, r.RefSaving)
+	if r.Err != nil {
+		return s + fmt.Sprintf(" (error: %v: inconclusive)", r.Err)
+	}
+	if r.Agree() {
+		return s + " (agree)"
+	}
+	for _, p := range r.Problems {
+		s += "\n  " + p
+	}
+	return s
+}
+
+// CheckSelection enumerates g's cuts under eopt and cross-checks both
+// ise.Select modes against the exhaustive reference: the exact mode must
+// achieve the reference optimum, the greedy mode must be feasible and at
+// most the optimum, and both selections must satisfy every structural
+// invariant. The instance must be small enough for the reference
+// (RefLimit candidates) — a refusal is reported as Err, never a silent
+// pass.
+func CheckSelection(name string, g *dfg.Graph, m ise.Model, eopt enum.Options, sopt ise.SelectOptions) SelReport {
+	rep := SelReport{Name: name}
+	cuts, stats := enum.CollectAll(g, eopt)
+	rep.Candidates = len(cuts)
+	if stats.StopReason != enum.StopNone {
+		rep.Err = fmt.Errorf("enumeration stopped early: %v", stats.StopReason)
+		return rep
+	}
+	ref, err := ReferenceSelect(g, m, cuts, sopt)
+	if err != nil {
+		rep.Err = err
+		return rep
+	}
+	rep.RefSaving = ref
+
+	exactOpt := sopt
+	exactOpt.Exact = true
+	if exactOpt.ExactLimit < RefLimit {
+		exactOpt.ExactLimit = RefLimit
+	}
+	exact := ise.Select(g, m, cuts, exactOpt)
+	rep.ExactSaving = totalSaving(exact)
+
+	greedyOpt := sopt
+	greedyOpt.Exact = false
+	greedy := ise.Select(g, m, cuts, greedyOpt)
+	rep.GreedySaving = totalSaving(greedy)
+
+	if rep.ExactSaving != ref {
+		rep.problem(fmt.Sprintf("exact selection saves %d, exhaustive optimum is %d", rep.ExactSaving, ref))
+	}
+	if rep.GreedySaving > ref {
+		rep.problem(fmt.Sprintf("greedy selection saves %d > exhaustive optimum %d", rep.GreedySaving, ref))
+	}
+	for _, bad := range Invariants(g, exact, eopt, exactOpt) {
+		rep.problem("exact: " + bad)
+	}
+	for _, bad := range Invariants(g, greedy, eopt, greedyOpt) {
+		rep.problem("greedy: " + bad)
+	}
+	return rep
+}
+
+func totalSaving(sel ise.Selection) int {
+	t := 0
+	for _, c := range sel.Chosen {
+		t += c.Saving
+	}
+	return t
+}
+
+func (r *SelReport) problem(p string) {
+	if len(r.Problems) < MaxExamples {
+		r.Problems = append(r.Problems, p)
+	} else if len(r.Problems) == MaxExamples {
+		r.Problems = append(r.Problems, "…")
+	}
+}

@@ -1,0 +1,209 @@
+// Package semoracle is the semantic differential-testing layer for the ISE
+// pipeline. Where internal/baseline certifies the *enumeration* (the set of
+// cuts is complete), semoracle certifies the *meaning* of what the pipeline
+// does with those cuts: collapsing a cut into a custom instruction must
+// preserve the block's observable behaviour under the interpreter
+// (CheckCuts), and instruction selection must be optimal against an
+// exhaustive reference on instances small enough to brute-force
+// (CheckSelection, selection.go). Reports follow the baseline.OracleReport
+// contract: typed stop reasons, no verdict on a budgeted early stop, and
+// capped example lists for triage.
+package semoracle
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"polyise/internal/dfg"
+	"polyise/internal/enum"
+	"polyise/internal/interp"
+)
+
+// MaxExamples caps the example lists carried in a report.
+const MaxExamples = 10
+
+// CutConfig configures a CheckCuts sweep.
+type CutConfig struct {
+	// Envs is the number of randomized environments each cut is executed
+	// under; 0 means DefaultEnvs.
+	Envs int
+	// Seed addresses the randomized coverage: the environments for cut k
+	// are a pure function of (Seed, k), so a failure report names a
+	// reproducible configuration.
+	Seed int64
+	// MaxCuts, when positive, bounds the sweep to the first MaxCuts cuts
+	// of the serial enumeration order (a bit-exact prefix at any worker
+	// count); the report is then inconclusive-on-stop, not a verdict.
+	MaxCuts int
+	// Budget, when positive, bounds the wall clock of the whole sweep.
+	Budget time.Duration
+	// Options are the enumeration constraints; a zero MaxInputs selects
+	// enum.DefaultOptions (Nin=4, Nout=2).
+	Options enum.Options
+}
+
+// DefaultEnvs is the per-cut environment count the acceptance bar asks for.
+const DefaultEnvs = 8
+
+// CutReport is the outcome of one CheckCuts sweep: every enumerated cut of
+// one instance executed collapsed-vs-original under randomized
+// environments.
+type CutReport struct {
+	Name string
+	N    int // vertex count of the instance
+	Cuts int // cuts checked
+	Envs int // environments per cut
+
+	// Stop records how the enumeration ended (StopNone for a complete
+	// sweep). Any other reason — deadline, budget, cancellation — leaves
+	// the sweep partial and the report without a verdict.
+	Stop enum.StopReason
+
+	// Err carries the first pipeline error (extraction, collapse, or an
+	// interpreter refusal), making the sweep inconclusive for a
+	// reportable reason instead of a crash.
+	Err error
+
+	// Mismatches holds example divergences "cut… env=… node…" (capped at
+	// MaxExamples); MismatchTotal is the uncapped tally.
+	Mismatches    []string
+	MismatchTotal int
+}
+
+// Stopped reports whether the sweep ended early, leaving coverage partial.
+func (r CutReport) Stopped() bool { return r.Stop != enum.StopNone }
+
+// Agree reports whether the sweep ran to completion with every cut
+// semantics-preserving under every environment.
+func (r CutReport) Agree() bool {
+	return !r.Stopped() && r.Err == nil && r.MismatchTotal == 0
+}
+
+// String renders the report in one line for logs, with diagnostic detail
+// only on disagreement.
+func (r CutReport) String() string {
+	s := fmt.Sprintf("%s: n=%d cuts=%d envs=%d", r.Name, r.N, r.Cuts, r.Envs)
+	if r.Err != nil {
+		return s + fmt.Sprintf(" (error: %v: inconclusive)", r.Err)
+	}
+	if r.Stopped() {
+		return s + fmt.Sprintf(" (stopped early: %v: inconclusive)", r.Stop)
+	}
+	if r.Agree() {
+		return s + " (agree)"
+	}
+	s += fmt.Sprintf(" mismatches=%d", r.MismatchTotal)
+	for _, m := range r.Mismatches {
+		s += "\n  " + m
+	}
+	return s
+}
+
+// CheckCuts enumerates every cut of g under cfg.Options and, for each,
+// asserts that collapsing the cut — with the extracted datapath as the
+// custom instruction's implementation — leaves the block's observable
+// behaviour unchanged: every surviving node's value and the full memory
+// state (initialized from a seeded pseudorandom image so load/store
+// reordering is visible, the PR 1 memory-dependence edge class) must match
+// the original's on cfg.Envs randomized environments per cut.
+//
+// Coverage is seed-addressable: environments for cut k derive from
+// (cfg.Seed, k) only, so any reported divergence replays exactly under the
+// same config regardless of worker count (enumeration order is the serial
+// order at any parallelism).
+func CheckCuts(name string, g *dfg.Graph, cfg CutConfig) CutReport {
+	rep := CutReport{Name: name, N: g.N(), Envs: cfg.Envs}
+	if rep.Envs <= 0 {
+		rep.Envs = DefaultEnvs
+	}
+	opt := cfg.Options
+	if opt.MaxInputs == 0 {
+		opt = enum.DefaultOptions()
+	}
+	opt.MaxCuts = cfg.MaxCuts
+	if cfg.Budget > 0 {
+		opt.Deadline = time.Now().Add(cfg.Budget)
+	}
+	// The cut is checked inside the visit, so retaining node sets across
+	// calls is unnecessary.
+	opt.KeepCuts = false
+
+	stats := enum.Enumerate(g, opt, func(c enum.Cut) bool {
+		k := rep.Cuts
+		rep.Cuts++
+		mismatches, err := CheckCut(g, c, rep.Envs, cfg.Seed^(int64(k)+1)*0x9e3779b9)
+		if err != nil {
+			rep.Err = fmt.Errorf("cut %d %v: %w", k, c, err)
+			return false
+		}
+		for _, m := range mismatches {
+			rep.record(fmt.Sprintf("cut %d %v %s", k, c, m))
+		}
+		return true
+	})
+	rep.Stop = stats.StopReason
+	if rep.Err == nil && stats.Err != nil {
+		rep.Err = stats.Err
+	}
+	return rep
+}
+
+// CheckCut certifies one cut of g: the collapsed graph, with the extracted
+// datapath as the custom instruction's implementation, is executed against
+// the original on envs randomized environments derived from seed. It
+// returns one description per diverging environment (nil means the cut is
+// semantics-preserving on this coverage) and an error when the pipeline
+// itself fails (extraction, collapse, or an interpreter refusal).
+func CheckCut(g *dfg.Graph, c enum.Cut, envs int, seed int64) ([]string, error) {
+	fn, err := interp.CutFn(g, c.Nodes, c.Outputs)
+	if err != nil {
+		return nil, fmt.Errorf("extract: %w", err)
+	}
+	collapsed, cmap, err := g.CollapseCut(c.Nodes, "oracle", 1)
+	if err != nil {
+		return nil, fmt.Errorf("collapse: %w", err)
+	}
+	var mismatches []string
+	rng := rand.New(rand.NewSource(seed))
+	roots := len(g.Roots())
+	for e := 0; e < envs; e++ {
+		vals := make([]int32, roots)
+		for i := range vals {
+			vals[i] = int32(rng.Uint32())
+		}
+		memSeed := rng.Uint64()
+		memA := interp.NewSeededMemory(memSeed)
+		memB := interp.NewSeededMemory(memSeed)
+		resA, err := interp.Run(g, interp.Env{RootValues: vals, Mem: memA})
+		if err != nil {
+			return nil, fmt.Errorf("env %d: original: %w", e, err)
+		}
+		resB, err := interp.Run(collapsed, interp.Env{
+			RootValues: vals, // root order is preserved by CollapseCut
+			Mem:        memB,
+			Customs:    map[string]interp.CustomFn{"oracle": fn},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("env %d: collapsed: %w", e, err)
+		}
+		for orig, nid := range cmap {
+			if resA.Values[orig] != resB.Values[nid] {
+				mismatches = append(mismatches, fmt.Sprintf("env=%d node %d: %d vs %d",
+					e, orig, resA.Values[orig], resB.Values[nid]))
+				break
+			}
+		}
+		if !memA.Equal(memB) {
+			mismatches = append(mismatches, fmt.Sprintf("env=%d: memory diverged", e))
+		}
+	}
+	return mismatches, nil
+}
+
+func (r *CutReport) record(example string) {
+	r.MismatchTotal++
+	if len(r.Mismatches) < MaxExamples {
+		r.Mismatches = append(r.Mismatches, example)
+	}
+}

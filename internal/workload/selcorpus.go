@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"math/rand"
+
+	"polyise/internal/dfg"
+	"polyise/internal/exprc"
+)
+
+// This file pins the selection corpus: the instances on which the
+// selection oracle (internal/semoracle) cross-checks ise.Select against an
+// exhaustive reference and on which selection outcomes + cost-model
+// accounting are golden-pinned. Unlike the enumeration-oriented gap
+// corpus, these instances are chosen for the *selection* problem: realistic
+// hand-written kernels whose candidate instruction sets are rich enough to
+// make greedy-vs-optimal diverge plausible, plus generated blocks small
+// enough (n ≤ 16) for the exhaustive reference.
+
+// SelBlock is one selection-corpus instance.
+type SelBlock struct {
+	Name string
+	G    *dfg.Graph
+	// Small marks instances with at most 16 vertices, where the
+	// acceptance bar requires ise.Select to match the exhaustive
+	// selection reference.
+	Small bool
+	// HasMemory marks instances containing load/store nodes with
+	// memory-dependence ordering, the PR 1 edge class the cut-semantics
+	// oracle must cover.
+	HasMemory bool
+}
+
+// FIR4Source is a 4-tap FIR filter inner step: multiply-accumulate chains,
+// the canonical ISE candidate shape (the paper's §7 speedup examples are
+// of this kind).
+const FIR4Source = `in x0, x1, x2, x3, c0, c1, c2, c3
+acc = x0*c0 + x1*c1 + x2*c2 + x3*c3
+out acc`
+
+// HashRoundSource is one round of a Jenkins-style integer mix: xor/shift/
+// add lattices with no memory traffic and wide instruction-level
+// parallelism.
+const HashRoundSource = `in a, b, c
+a1 = (a - b - c) ^ (c >> 13)
+b1 = (b - c - a1) ^ (a1 << 8)
+c1 = (c - a1 - b1) ^ (b1 >> 13)
+out a1, b1, c1`
+
+// SatAddSource is a saturating add — compare/select clamping around an
+// adder, a classic single-output custom instruction.
+const SatAddSource = `in a, b, lo, hi
+s = a + b
+clamped = min(max(s, lo), hi)
+out clamped`
+
+// MemKernelSource is a read-modify-write kernel: loads and stores with
+// address arithmetic. The memory operations are forbidden nodes, so cuts
+// wrap around them and collapsing must preserve the load/store ordering.
+const MemKernelSource = `in p, q, k
+a = load(p)
+b = load(p + 4)
+s = (a + b) * k
+m = max(a, b) - min(a, b)
+store(q, s)
+store(q + 4, s ^ m)
+out m`
+
+// SelectionCorpus returns the pinned selection corpus. Generation is
+// deterministic, so outcomes pinned against these instances are stable
+// across machines and revisions as long as the generators are unchanged
+// (workload tests pin the generators).
+func SelectionCorpus() []SelBlock {
+	return []SelBlock{
+		{Name: "fir4", G: exprc.MustCompile(FIR4Source)},
+		{Name: "hash-round", G: exprc.MustCompile(HashRoundSource)},
+		{Name: "sat-add", G: exprc.MustCompile(SatAddSource), Small: true},
+		{Name: "mem-kernel", G: exprc.MustCompile(MemKernelSource), HasMemory: true},
+		{Name: "mibench-n14-seed3", G: smallMiBench(14, 3), Small: true},
+		{Name: "mibench-n16-seed11", G: smallMiBench(16, 11), Small: true},
+		{Name: "mibench-n40-seed7", G: smallMiBench(40, 7), HasMemory: true},
+	}
+}
+
+func smallMiBench(n int, seed int64) *dfg.Graph {
+	return MiBenchLike(rand.New(rand.NewSource(seed)), n, DefaultProfile())
+}
+
+// WithForbiddenOps rebuilds a frozen graph with every node of the given
+// operations added to the user forbidden set F — the "restricted ISA"
+// scenario axis: e.g. forbidding multipliers or shifters models a custom
+// functional unit without those blocks. Node ids, names, constants,
+// live-outs and the original forbidden set are preserved, so cuts of the
+// variant graph name the same vertices as cuts of the original.
+func WithForbiddenOps(g *dfg.Graph, ops ...dfg.Op) *dfg.Graph {
+	banned := make(map[dfg.Op]bool, len(ops))
+	for _, op := range ops {
+		banned[op] = true
+	}
+	out := dfg.New()
+	for v := 0; v < g.N(); v++ { // ids ≡ topological order
+		id := out.MustAddNode(g.Op(v), g.Name(v), g.Preds(v)...)
+		switch g.Op(v) {
+		case dfg.OpConst, dfg.OpCustom, dfg.OpExtract:
+			if err := out.SetConst(id, g.ConstValue(v)); err != nil {
+				panic(err)
+			}
+		}
+		forbid := banned[g.Op(v)] || g.IsUserForbidden(v)
+		// Call/Custom/Extract are implicitly forbidden at Freeze; marking
+		// them explicitly is redundant but harmless only for MarkForbidden-
+		// compatible ops, so skip them.
+		if forbid && g.Op(v) != dfg.OpCall && g.Op(v) != dfg.OpCustom && g.Op(v) != dfg.OpExtract {
+			if err := out.MarkForbidden(id); err != nil {
+				panic(err)
+			}
+		}
+		if g.IsLiveOut(v) && len(g.Succs(v)) > 0 {
+			if err := out.MarkLiveOut(id); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return out.MustFreeze()
+}

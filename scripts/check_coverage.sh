@@ -1,0 +1,38 @@
+#!/bin/sh
+# Coverage floor for the semantically certified packages (ISSUE 9): new
+# code in a package whose behaviour the oracle layer vouches for must not
+# land untested. Floors are set a few points below the measured coverage at
+# the time of recording — they are a ratchet against silent decay, not a
+# target. Raise a floor when coverage rises; lowering one requires saying
+# why in the commit.
+#
+# Usage: scripts/check_coverage.sh
+set -eu
+
+check() {
+    pkg=$1
+    floor=$2
+    out=$(go test -cover "./internal/$pkg/" 2>&1) || {
+        echo "$out"
+        echo "coverage-floor: tests failed for $pkg" >&2
+        exit 1
+    }
+    pct=$(echo "$out" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+    if [ -z "$pct" ]; then
+        echo "coverage-floor: no coverage figure for $pkg in: $out" >&2
+        exit 1
+    fi
+    # Integer compare on tenths of a percent (dash has no float arithmetic).
+    pct10=$(echo "$pct" | awk '{printf "%d", $1 * 10}')
+    floor10=$(echo "$floor" | awk '{printf "%d", $1 * 10}')
+    if [ "$pct10" -lt "$floor10" ]; then
+        echo "coverage-floor FAIL: $pkg at ${pct}% is below the ${floor}% floor" >&2
+        exit 1
+    fi
+    echo "coverage-floor: $pkg ${pct}% >= ${floor}%"
+}
+
+check interp 95
+check ise 93
+check multidom 92
+check exprc 89
