@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race chaos crash diff-oracle diff-oracle-quick semoracle semoracle-quick coverage-floor docs-check bench bench-json bench-json-quick bench-gate bench-scaling scenario-json profile fuzz ci
+.PHONY: build vet test test-race chaos crash soak diff-oracle diff-oracle-quick semoracle semoracle-quick coverage-floor docs-check bench bench-json bench-json-quick bench-gate bench-scaling scenario-json profile fuzz ci
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,20 @@ chaos:
 crash:
 	$(GO) test -race -run 'TestCrashResume|TestResume|TestCheckpoint' ./internal/enum/ -timeout 10m -count 1
 	$(GO) test -race ./internal/checkpoint/ -timeout 2m -count 1
+
+# Service-layer chaos under load: the session soak (internal/session
+# soak_test.go) under the race detector — a saturated service absorbing a
+# mixed storm of healthy, poison, oversized, over-budget, canceled and
+# HTTP-streaming requests while delay injections widen the race windows at
+# the session fault sites. Healthy results must be bit-identical to the
+# serial reference, every bad-request class must fail with its typed
+# error, the memory budget must never be exceeded (with eviction actually
+# observed), and a durable run parked by shutdown must resume bit-exactly
+# on a fresh service. The rest of the session suite (cache, admission,
+# HTTP mapping) rides along; the hard -timeout turns any hang into a
+# failure.
+soak:
+	$(GO) test -race ./internal/session/ -timeout 10m -count 1
 
 # Mid-size completeness evidence: diff the polynomial enumeration against
 # the pruned-exhaustive oracle on the pinned gap instances (n=140/seed 5 →
@@ -157,4 +171,4 @@ fuzz:
 	$(GO) test -fuzz=FuzzExprCompile -fuzztime=30s ./internal/exprc/
 	$(GO) test -fuzz=FuzzInterpRun -fuzztime=30s ./internal/interp/
 
-ci: test test-race chaos crash docs-check diff-oracle-quick semoracle-quick coverage-floor bench-gate
+ci: test test-race chaos crash soak docs-check diff-oracle-quick semoracle-quick coverage-floor bench-gate

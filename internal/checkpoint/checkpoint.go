@@ -177,6 +177,39 @@ func GraphDigest(g *dfg.Graph) [2]uint64 {
 	return h.Sum()
 }
 
+// DigestString renders a 128-bit graph digest as 32 lower-case hex digits,
+// the wire form the session layer uses as a content-addressed graph id.
+func DigestString(d [2]uint64) string {
+	return fmt.Sprintf("%016x%016x", d[0], d[1])
+}
+
+// ParseDigest inverts DigestString. It accepts exactly 32 hex digits (either
+// case) — the strictness matters because the string is a cache key: two
+// spellings of one digest must not alias two cache entries.
+func ParseDigest(s string) ([2]uint64, error) {
+	var d [2]uint64
+	if len(s) != 32 {
+		return d, fmt.Errorf("checkpoint: digest %q: want 32 hex digits, got %d bytes", s, len(s))
+	}
+	for half := 0; half < 2; half++ {
+		for _, c := range s[half*16 : half*16+16] {
+			var v uint64
+			switch {
+			case c >= '0' && c <= '9':
+				v = uint64(c - '0')
+			case c >= 'a' && c <= 'f':
+				v = uint64(c-'a') + 10
+			case c >= 'A' && c <= 'F':
+				v = uint64(c-'A') + 10
+			default:
+				return [2]uint64{}, fmt.Errorf("checkpoint: digest %q: bad hex digit %q", s, c)
+			}
+			d[half] = d[half]<<4 | v
+		}
+	}
+	return d, nil
+}
+
 // flag bits of the snapshot header.
 const (
 	flagDone    = 1 << 0

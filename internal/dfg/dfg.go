@@ -338,6 +338,37 @@ func (g *Graph) MustFreeze() *Graph {
 // Frozen reports whether Freeze has completed.
 func (g *Graph) Frozen() bool { return g.frozen }
 
+// FootprintBytes estimates the resident memory of a frozen graph — the
+// derived reachability closures and flat adjacency matrices, which are
+// O(n²) bits and dwarf everything else on large blocks, plus the per-node
+// slices. The estimate is what a cache charges against its byte budget; it
+// deliberately excludes the lazily built Augmented() structures (their
+// construction is budgeted by whoever triggers it) and allocator overhead.
+func (g *Graph) FootprintBytes() int64 {
+	const wordB = 8
+	n := int64(len(g.ops))
+	b := n * (1 /*ops*/ + 16 /*names header*/ + 8 /*value*/ + 2*24 /*preds,succs headers*/ + 3*8 /*topo,topoPos,depth,maxSucc≈*/)
+	for v := range g.preds {
+		b += int64(len(g.preds[v])+len(g.succs[v])) * 8
+		b += int64(len(g.names[v]))
+	}
+	perSet := func(rows []*bitset.Set) {
+		for _, s := range rows {
+			if s != nil {
+				b += int64(len(s.Words()))*wordB + 24
+			}
+		}
+	}
+	perSet(g.reachFrom)
+	perSet(g.reachTo)
+	perSet(g.ffReach)
+	perSet(g.forbPred)
+	perSet([]*bitset.Set{g.iext, g.oext, g.forb, g.entrySet})
+	b += int64(len(g.predBits)+len(g.succBits)) * wordB
+	b += int64(len(g.entries)) * 8
+	return b
+}
+
 // Op returns the operation of node v.
 func (g *Graph) Op(v int) Op { return g.ops[v] }
 

@@ -685,19 +685,29 @@ func (e *incEnum) maybeSplit() {
 	}
 }
 
-// stealStallTimeout bounds how long a donor waits for a claimed thief to
-// accept a handoff before declaring the protocol's liveness broken. Under
-// the handoff discipline the claimed thief is parked in its task select and
-// committed to receive, so on a healthy run the send completes in
-// microseconds; the timeout only fires if an invariant is broken, and then
-// a diagnosable StallError beats an invisible hang. A package variable so
-// the watchdog's own tests can shorten it.
-var stealStallTimeout = 10 * time.Second
+// defaultStealStallTimeout bounds how long a donor waits for a claimed
+// thief to accept a handoff before declaring the protocol's liveness
+// broken. Under the handoff discipline the claimed thief is parked in its
+// task select and committed to receive, so on a healthy run the send
+// completes in microseconds; the timeout only fires if an invariant is
+// broken, and then a diagnosable StallError beats an invisible hang.
+// Options.StealStallTimeout overrides it per run (the watchdog's own tests
+// and the session layer's per-request tightening both go through that
+// field — no global state).
+const defaultStealStallTimeout = 10 * time.Second
+
+// stallTimeout resolves the run's effective watchdog bound.
+func (e *incEnum) stallTimeout() time.Duration {
+	if e.opt.StealStallTimeout > 0 {
+		return e.opt.StealStallTimeout
+	}
+	return defaultStealStallTimeout
+}
 
 // sendTask hands t to the claimed hungry worker, guarded by the stall
 // watchdog. The claimed thief is committed to receive (see stealState), so
 // the send normally completes at once; if it does not within
-// stealStallTimeout, the donor reabsorbs the donated range instead of
+// stallTimeout(), the donor reabsorbs the donated range instead of
 // hanging: the frame's end is restored so the donor runs the positions
 // itself, the stolen and resume segments close empty (order-correct — the
 // donor's current segment precedes both in the merge list, so its output
@@ -706,10 +716,11 @@ var stealStallTimeout = 10 * time.Second
 func (e *incEnum) sendTask(t stealTask, ri, oldEnd int, resume *parallel.Seg[Cut]) {
 	st := e.steal
 	st.active.Add(1) // the task's liveness token; the receiver inherits it
+	timeout := e.stallTimeout()
 	if e.stallTimer == nil {
-		e.stallTimer = time.NewTimer(stealStallTimeout)
+		e.stallTimer = time.NewTimer(timeout)
 	} else {
-		e.stallTimer.Reset(stealStallTimeout)
+		e.stallTimer.Reset(timeout)
 	}
 	select {
 	case st.tasks <- t:
@@ -728,7 +739,7 @@ func (e *incEnum) sendTask(t stealTask, ri, oldEnd int, resume *parallel.Seg[Cut
 	if st.active.Add(-1) == 0 {
 		close(st.done)
 	}
-	e.fail(&StallError{Timeout: stealStallTimeout})
+	e.fail(&StallError{Timeout: timeout})
 }
 
 // popRangeSegs runs at a pickOutputRange frame's epilogue: for every split

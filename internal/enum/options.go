@@ -228,6 +228,17 @@ type Options struct {
 	// "shut down" into "park the run on disk". Polled at the same sampled
 	// sites as Deadline.
 	CheckpointStop <-chan struct{}
+
+	// StealStallTimeout bounds how long a parallel donor waits for a
+	// claimed thief to accept a steal handoff before declaring the
+	// protocol's liveness broken and failing the run with a *StallError
+	// (see the watchdog note in internal/enum/incremental.go). Zero means
+	// the 10 s default. Under the handoff discipline a healthy send
+	// completes in microseconds, so the timeout only matters as a
+	// diagnosability bound; long-running services tighten it per request
+	// so a broken run is reported quickly instead of occupying a slot for
+	// the full default.
+	StealStallTimeout time.Duration
 }
 
 // DefaultOptions returns the paper's standard configuration: Nin=4, Nout=2,

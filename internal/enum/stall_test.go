@@ -19,10 +19,6 @@ import (
 )
 
 func TestChaosStallWatchdogReabsorbs(t *testing.T) {
-	old := stealStallTimeout
-	stealStallTimeout = 50 * time.Millisecond
-	defer func() { stealStallTimeout = old }()
-
 	ord := parallel.NewSplitOrdered[Cut](1, 4)
 	st := &stealState{ord: ord, tasks: make(chan stealTask), done: make(chan struct{})}
 	// Donor's own token plus one phantom peer: the stall release must not be
@@ -30,7 +26,10 @@ func TestChaosStallWatchdogReabsorbs(t *testing.T) {
 	st.active.Store(2)
 
 	var ext atomic.Bool
-	e := &incEnum{steal: st, ext: &ext}
+	// The watchdog bound comes from the Options, not package state, so the
+	// shortened test timeout cannot leak into a concurrently running
+	// enumeration.
+	e := &incEnum{steal: st, ext: &ext, opt: Options{StealStallTimeout: 50 * time.Millisecond}}
 	e.curSeg = ord.Top(0)
 	stolen, resume := ord.Split(e.curSeg)
 	e.ranges = append(e.ranges, posRange{cur: 2, end: 5})

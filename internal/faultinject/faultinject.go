@@ -35,6 +35,19 @@
 //     atomic temp+rename write protocol must make survivable: the
 //     crash-resume suite proves the previous snapshot still resumes.
 //
+// The session layer (internal/session, the polyised server) adds four
+// service-boundary sites:
+//
+//   - CacheInsert: a frozen graph about to be published into the
+//     content-addressed cache — a panic here must not corrupt the cache
+//     map or strand the budget reservation.
+//   - CacheEvict: an LRU victim about to be dropped under budget
+//     pressure — a fault here lands while the cache lock is held.
+//   - Admission: a request that just won an execution slot, before any
+//     work starts — the window where shedding and shutdown race.
+//   - ResponseWrite: a result row about to be streamed to the client —
+//     a delay here models the slow-client backpressure path.
+//
 // ForceFallback is separate: when it returns true, the delta kernels
 // (dfg.Traverser's GrowCut/ShrinkCut/ShrinkReachInto clip thresholds and
 // the DeltaValidator mirror resync) take their from-scratch fallback paths
@@ -58,6 +71,10 @@ var (
 	OnMergeSplice     func()
 	OnDedupInsert     func()
 	OnCheckpointWrite func()
+	OnCacheInsert     func()
+	OnCacheEvict      func()
+	OnAdmission       func()
+	OnResponseWrite   func()
 
 	// ForceFallback, when non-nil and returning true, forces every delta
 	// kernel to its from-scratch fallback path.
@@ -82,6 +99,10 @@ const (
 	SiteMergeSplice
 	SiteDedupInsert
 	SiteCheckpointWrite
+	SiteCacheInsert
+	SiteCacheEvict
+	SiteAdmission
+	SiteResponseWrite
 	NumSites
 )
 
@@ -101,6 +122,14 @@ func (s Site) String() string {
 		return "dedupInsert"
 	case SiteCheckpointWrite:
 		return "checkpointWrite"
+	case SiteCacheInsert:
+		return "cacheInsert"
+	case SiteCacheEvict:
+		return "cacheEvict"
+	case SiteAdmission:
+		return "admission"
+	case SiteResponseWrite:
+		return "responseWrite"
 	}
 	return fmt.Sprintf("site(%d)", uint8(s))
 }
@@ -176,6 +205,10 @@ func Install(injs ...Injection) *Plan {
 	OnMergeSplice = func() { p.fire(SiteMergeSplice) }
 	OnDedupInsert = func() { p.fire(SiteDedupInsert) }
 	OnCheckpointWrite = func() { p.fire(SiteCheckpointWrite) }
+	OnCacheInsert = func() { p.fire(SiteCacheInsert) }
+	OnCacheEvict = func() { p.fire(SiteCacheEvict) }
+	OnAdmission = func() { p.fire(SiteAdmission) }
+	OnResponseWrite = func() { p.fire(SiteResponseWrite) }
 	return p
 }
 
@@ -189,6 +222,10 @@ func Uninstall() {
 	OnMergeSplice = nil
 	OnDedupInsert = nil
 	OnCheckpointWrite = nil
+	OnCacheInsert = nil
+	OnCacheEvict = nil
+	OnAdmission = nil
+	OnResponseWrite = nil
 	ForceFallback = nil
 }
 

@@ -14,6 +14,10 @@ func TestSiteStrings(t *testing.T) {
 		SiteMergeSplice:     "mergeSplice",
 		SiteDedupInsert:     "dedupInsert",
 		SiteCheckpointWrite: "checkpointWrite",
+		SiteCacheInsert:     "cacheInsert",
+		SiteCacheEvict:      "cacheEvict",
+		SiteAdmission:       "admission",
+		SiteResponseWrite:   "responseWrite",
 	}
 	if len(want) != int(NumSites) {
 		t.Fatalf("test covers %d sites, package declares %d", len(want), NumSites)
@@ -40,7 +44,8 @@ func TestInstallUninstall(t *testing.T) {
 		}
 	}
 	// Counting hooks are wired for every site even with no injections.
-	hooks := []func(){OnPickInputs, OnCheckCut, OnStealPublish, OnStealClaim, OnMergeSplice, OnDedupInsert, OnCheckpointWrite}
+	hooks := []func(){OnPickInputs, OnCheckCut, OnStealPublish, OnStealClaim, OnMergeSplice, OnDedupInsert, OnCheckpointWrite,
+		OnCacheInsert, OnCacheEvict, OnAdmission, OnResponseWrite}
 	if len(hooks) != int(NumSites) {
 		t.Fatalf("test drives %d hooks, package declares %d sites", len(hooks), NumSites)
 	}
@@ -57,7 +62,8 @@ func TestInstallUninstall(t *testing.T) {
 	Uninstall()
 	if OnPickInputs != nil || OnCheckCut != nil || OnStealPublish != nil ||
 		OnStealClaim != nil || OnMergeSplice != nil || OnDedupInsert != nil ||
-		OnCheckpointWrite != nil || ForceFallback != nil {
+		OnCheckpointWrite != nil || OnCacheInsert != nil || OnCacheEvict != nil ||
+		OnAdmission != nil || OnResponseWrite != nil || ForceFallback != nil {
 		t.Fatal("Uninstall left a hook installed")
 	}
 	if ForcedFallback() {

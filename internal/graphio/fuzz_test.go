@@ -2,6 +2,7 @@ package graphio
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -30,6 +31,17 @@ func FuzzRead(f *testing.F) {
 	f.Add("nodeadd\nnode\n node var x=1\n")
 	f.Add("node var name=\xff\xfe\n") // non-UTF8 name
 	f.Add(strings.Repeat("node var\n", 100))
+	// Limit-straddling seeds for the ReadLimited leg below (fuzzLimits caps
+	// nodes at 8, preds at 4, lines at 96 bytes): exactly at each cap, one
+	// past each cap, and a newline-free flood that must be rejected without
+	// being buffered whole.
+	f.Add(strings.Repeat("node var\n", 8))
+	f.Add(strings.Repeat("node var\n", 9))
+	f.Add("node var\nnode var\nnode var\nnode var\nnode call preds=0,1,2,3\n")
+	f.Add("node var\nnode var\nnode var\nnode var\nnode call preds=0,1,2,3,0\n")
+	f.Add("node var name=" + strings.Repeat("p", 96-len("node var name=")) + "\n")
+	f.Add("node var name=" + strings.Repeat("p", 97-len("node var name=")) + "\n")
+	f.Add("# " + strings.Repeat("c", 200))
 	for _, fixture := range readFixtures(f) {
 		f.Add(fixture)
 	}
@@ -42,6 +54,7 @@ func FuzzRead(f *testing.F) {
 		if len(input) > 1<<16 {
 			t.Skip()
 		}
+		fuzzCheckLimited(t, input)
 		g, err := Read(strings.NewReader(input))
 		if err != nil {
 			return // rejected cleanly
@@ -60,6 +73,65 @@ func FuzzRead(f *testing.F) {
 		}
 		assertSameGraph(t, g, g2)
 	})
+}
+
+// fuzzLimits are the caps the hardened-parser fuzz leg runs under; small
+// enough that the straddling seeds above actually cross them.
+var fuzzLimits = Limits{MaxNodes: 8, MaxPreds: 4, MaxLineBytes: 96}
+
+// fuzzCheckLimited holds ReadLimited to the network-boundary contract on
+// arbitrary input: never panic, reject over-limit inputs with a *LimitError
+// naming a real cap, and agree with the unlimited parser whenever the input
+// is inside every cap (the limits must be pure rejection, no semantic
+// drift).
+func fuzzCheckLimited(t *testing.T, input string) {
+	t.Helper()
+	g, err := ReadLimited(strings.NewReader(input), fuzzLimits)
+	var le *LimitError
+	if errors.As(err, &le) {
+		switch le.What {
+		case "nodes", "preds", "line":
+		default:
+			t.Fatalf("LimitError names unknown dimension %q", le.What)
+		}
+		if le.Got <= le.Limit {
+			t.Fatalf("LimitError %+v reports Got within Limit", le)
+		}
+		return
+	}
+	inside := len(input) <= fuzzLimits.MaxNodes*fuzzLimits.MaxLineBytes && withinLimits(input, fuzzLimits)
+	if inside {
+		gu, eu := Read(strings.NewReader(input))
+		if (err == nil) != (eu == nil) {
+			t.Fatalf("within limits, ReadLimited err=%v but Read err=%v", err, eu)
+		}
+		if err == nil {
+			assertSameGraph(t, g, gu)
+		}
+	}
+}
+
+// withinLimits reports whether input is strictly inside every fuzzLimits
+// cap, computed independently of the parser.
+func withinLimits(input string, lim Limits) bool {
+	nodes := 0
+	for _, line := range strings.Split(input, "\n") {
+		if len(line) > lim.MaxLineBytes {
+			return false
+		}
+		trimmed := strings.TrimSpace(line)
+		if fields := strings.Fields(trimmed); len(fields) > 0 && fields[0] == "node" {
+			nodes++
+			for _, fld := range fields {
+				if rest, ok := strings.CutPrefix(fld, "preds="); ok {
+					if strings.Count(rest, ",")+1 > lim.MaxPreds {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return nodes <= lim.MaxNodes
 }
 
 // readFixtures loads every committed .dfg fixture as an extra seed.

@@ -13,6 +13,7 @@ package graphio
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -56,14 +57,73 @@ func Write(w io.Writer, g *dfg.Graph) error {
 	return bw.Flush()
 }
 
-// Read parses the text format and returns a frozen graph.
+// Limits caps what ReadLimited will accept before it stops parsing with a
+// typed *LimitError. The zero value means "no limit" for every field —
+// Read's historical trusted-corpus behaviour — while network-facing callers
+// (the polyised session layer) set hard caps so one hostile submission
+// cannot exhaust the process: Freeze builds O(n²)-bit reachability closures,
+// so the node cap is the one that actually bounds memory.
+type Limits struct {
+	// MaxNodes caps the number of node lines (graph vertices).
+	MaxNodes int
+	// MaxPreds caps the operand count of a single node (entries in one
+	// preds= list).
+	MaxPreds int
+	// MaxLineBytes caps the byte length of one input line, comments
+	// included. Also bounds the scanner's buffer, so memory for a single
+	// line is capped even when the input never contains a newline.
+	MaxLineBytes int
+}
+
+// LimitError reports an input that exceeded a Limits cap. It identifies the
+// exceeded dimension so servers can answer with a precise "payload too
+// large" instead of a generic parse failure.
+type LimitError struct {
+	What  string // "nodes", "preds", or "line"
+	Limit int    // the configured cap
+	Got   int    // the observed value (for "line": a lower bound)
+	Line  int    // 1-based input line, 0 when not attributable to one
+}
+
+func (e *LimitError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("graphio: line %d: %s limit exceeded (%d > %d)", e.Line, e.What, e.Got, e.Limit)
+	}
+	return fmt.Sprintf("graphio: %s limit exceeded (%d > %d)", e.What, e.Got, e.Limit)
+}
+
+// Read parses the text format and returns a frozen graph. No size caps are
+// applied — callers feed trusted corpora; the network boundary goes through
+// ReadLimited.
 func Read(r io.Reader) (*dfg.Graph, error) {
+	return ReadLimited(r, Limits{})
+}
+
+// ReadLimited is Read with hard input caps: parsing stops with a
+// *LimitError as soon as the node count, a node's operand count, or a
+// line's byte length exceeds the corresponding Limits field (zero fields
+// are unlimited). The caps are enforced before the offending element is
+// materialized — a line longer than MaxLineBytes is never buffered whole,
+// and the node that would exceed MaxNodes is never added — so peak memory
+// is bounded by the caps, not by the input.
+func ReadLimited(r io.Reader, lim Limits) (*dfg.Graph, error) {
 	g := dfg.New()
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	bufCap := 1 << 20
+	if lim.MaxLineBytes > 0 && lim.MaxLineBytes+1 < bufCap {
+		// One byte of headroom: a line of exactly MaxLineBytes bytes must
+		// still fit so it parses, while MaxLineBytes+1 overflows the buffer
+		// and is reported as a limit violation below.
+		bufCap = lim.MaxLineBytes + 1
+	}
+	sc.Buffer(make([]byte, 0, 64), bufCap)
 	lineNo := 0
+	nodes := 0
 	for sc.Scan() {
 		lineNo++
+		if lim.MaxLineBytes > 0 && len(sc.Bytes()) > lim.MaxLineBytes {
+			return nil, &LimitError{What: "line", Limit: lim.MaxLineBytes, Got: len(sc.Bytes()), Line: lineNo}
+		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
@@ -71,6 +131,10 @@ func Read(r io.Reader) (*dfg.Graph, error) {
 		fields := strings.Fields(line)
 		if fields[0] != "node" || len(fields) < 2 {
 			return nil, fmt.Errorf("graphio: line %d: expected \"node <op> ...\"", lineNo)
+		}
+		nodes++
+		if lim.MaxNodes > 0 && nodes > lim.MaxNodes {
+			return nil, &LimitError{What: "nodes", Limit: lim.MaxNodes, Got: nodes, Line: lineNo}
 		}
 		op := dfg.OpFromName(fields[1])
 		if !op.Valid() {
@@ -89,7 +153,11 @@ func Read(r io.Reader) (*dfg.Graph, error) {
 			case strings.HasPrefix(f, "name="):
 				name = f[len("name="):]
 			case strings.HasPrefix(f, "preds="):
-				for _, p := range strings.Split(f[len("preds="):], ",") {
+				list := strings.Split(f[len("preds="):], ",")
+				if lim.MaxPreds > 0 && len(list) > lim.MaxPreds {
+					return nil, &LimitError{What: "preds", Limit: lim.MaxPreds, Got: len(list), Line: lineNo}
+				}
+				for _, p := range list {
 					id, err := strconv.Atoi(p)
 					if err != nil {
 						return nil, fmt.Errorf("graphio: line %d: bad pred %q", lineNo, p)
@@ -131,6 +199,13 @@ func Read(r io.Reader) (*dfg.Graph, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
+		if lim.MaxLineBytes > 0 && errors.Is(err, bufio.ErrTooLong) {
+			// The scanner's buffer is sized to the cap, so an overlong token
+			// surfaces as ErrTooLong before the line is ever held in memory;
+			// report it as the limit violation it is. Got is a lower bound —
+			// the rest of the line was never read.
+			return nil, &LimitError{What: "line", Limit: lim.MaxLineBytes, Got: lim.MaxLineBytes + 1, Line: lineNo + 1}
+		}
 		return nil, err
 	}
 	if err := g.Freeze(); err != nil {

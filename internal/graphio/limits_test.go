@@ -1,0 +1,99 @@
+package graphio
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// lineOf builds a node line of exactly n bytes (padding via the name).
+func lineOf(n int, t *testing.T) string {
+	t.Helper()
+	base := "node var name="
+	if n < len(base)+1 {
+		t.Fatalf("lineOf(%d): too short for a node line", n)
+	}
+	return base + strings.Repeat("a", n-len(base))
+}
+
+func TestReadLimitedNodeCap(t *testing.T) {
+	src := strings.Repeat("node var\n", 10)
+	if _, err := ReadLimited(strings.NewReader(src), Limits{MaxNodes: 10}); err != nil {
+		t.Fatalf("10 nodes under a 10-node cap rejected: %v", err)
+	}
+	_, err := ReadLimited(strings.NewReader(src+"node var\n"), Limits{MaxNodes: 10})
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("11 nodes under a 10-node cap: err = %v, want *LimitError", err)
+	}
+	if le.What != "nodes" || le.Limit != 10 || le.Got != 11 || le.Line != 11 {
+		t.Fatalf("LimitError = %+v, want nodes/10/11 at line 11", le)
+	}
+	if le.Error() == "" {
+		t.Fatal("empty LimitError string")
+	}
+}
+
+func TestReadLimitedPredCap(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 4; i++ {
+		b.WriteString("node var\n")
+	}
+	b.WriteString("node add preds=0,1\n")
+	ok := b.String() + "node call preds=0,1,2,3\n"
+	if _, err := ReadLimited(strings.NewReader(ok), Limits{MaxPreds: 4}); err != nil {
+		t.Fatalf("4 preds under a 4-pred cap rejected: %v", err)
+	}
+	bad := b.String() + "node call preds=0,1,2,3,4\n"
+	_, err := ReadLimited(strings.NewReader(bad), Limits{MaxPreds: 4})
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("5 preds under a 4-pred cap: err = %v, want *LimitError", err)
+	}
+	if le.What != "preds" || le.Limit != 4 || le.Got != 5 || le.Line != 6 {
+		t.Fatalf("LimitError = %+v, want preds/4/5 at line 6", le)
+	}
+}
+
+func TestReadLimitedLineCap(t *testing.T) {
+	// Exactly at the cap: accepted.
+	at := lineOf(64, t) + "\n"
+	if _, err := ReadLimited(strings.NewReader(at), Limits{MaxLineBytes: 64}); err != nil {
+		t.Fatalf("64-byte line under a 64-byte cap rejected: %v", err)
+	}
+	// One byte over: the scanner's bounded buffer overflows and the error
+	// must be the typed limit, not a raw bufio.ErrTooLong.
+	over := lineOf(65, t) + "\n"
+	_, err := ReadLimited(strings.NewReader(over), Limits{MaxLineBytes: 64})
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("65-byte line under a 64-byte cap: err = %v, want *LimitError", err)
+	}
+	if le.What != "line" || le.Limit != 64 {
+		t.Fatalf("LimitError = %+v, want line/64", le)
+	}
+	// A newline-free flood must also be rejected without buffering it all:
+	// the cap, not the input size, bounds the scanner buffer.
+	flood := strings.Repeat("x", 1<<20)
+	if _, err := ReadLimited(strings.NewReader(flood), Limits{MaxLineBytes: 128}); !errors.As(err, &le) {
+		t.Fatalf("newline-free flood: err = %v, want *LimitError", err)
+	}
+	// A comment line over the cap is rejected too — limit checks run before
+	// the comment skip, so hostile padding cannot hide in comments.
+	if _, err := ReadLimited(strings.NewReader("# "+strings.Repeat("c", 200)+"\nnode var\n"),
+		Limits{MaxLineBytes: 64}); !errors.As(err, &le) {
+		t.Fatalf("oversized comment: err = %v, want *LimitError", err)
+	}
+}
+
+func TestReadLimitedZeroValueIsUnlimited(t *testing.T) {
+	src := strings.Repeat("node var\n", 500) + "node call preds=" +
+		strings.Join(strings.Fields(strings.Repeat("0 ", 100)), ",") + "\n"
+	g, err := ReadLimited(strings.NewReader(src), Limits{})
+	if err != nil {
+		t.Fatalf("zero-value Limits rejected valid input: %v", err)
+	}
+	if g.N() != 501 {
+		t.Fatalf("parsed %d nodes, want 501", g.N())
+	}
+}

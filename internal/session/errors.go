@@ -1,0 +1,64 @@
+package session
+
+import (
+	"fmt"
+	"time"
+)
+
+// OverloadCause classifies why admission refused a request.
+type OverloadCause string
+
+const (
+	// CauseQueue: the bounded admission queue was full.
+	CauseQueue OverloadCause = "queue"
+	// CauseMemory: the memory budget could not cover the request even
+	// after evicting every idle cached graph.
+	CauseMemory OverloadCause = "memory"
+	// CauseShutdown: the service is draining.
+	CauseShutdown OverloadCause = "shutdown"
+)
+
+// OverloadError is the load-shedding refusal: the service chose not to run
+// the request now, and (except under shutdown) a retry after RetryAfter is
+// reasonable. It maps to HTTP 429/503.
+type OverloadError struct {
+	Cause      OverloadCause
+	RetryAfter time.Duration // 0 = no hint (shutdown)
+}
+
+func (e *OverloadError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("session: overloaded (%s); retry after %v", e.Cause, e.RetryAfter)
+	}
+	return fmt.Sprintf("session: overloaded (%s)", e.Cause)
+}
+
+// NotFoundError reports a request addressing an unknown graph or parked
+// run. For Kind "graph" the client resubmits the graph (content addressing
+// makes that idempotent); for Kind "run" there is no snapshot to resume.
+type NotFoundError struct {
+	Kind string // "graph" or "run"
+	ID   string
+}
+
+func (e *NotFoundError) Error() string {
+	return fmt.Sprintf("session: %s %s not found", e.Kind, e.ID)
+}
+
+// SuspendedError reports a run stopped by Shutdown at a quiescent point
+// after delivering Visited cuts — an exact serial-order prefix. For a
+// durable run SnapshotPath names the parked snapshot and Resume continues
+// it bit-exactly; for a non-durable run both RunID and SnapshotPath are
+// empty and the prefix is all the client gets.
+type SuspendedError struct {
+	RunID        string
+	SnapshotPath string
+	Visited      int
+}
+
+func (e *SuspendedError) Error() string {
+	if e.SnapshotPath == "" {
+		return fmt.Sprintf("session: run stopped by shutdown after %d cuts (not durable)", e.Visited)
+	}
+	return fmt.Sprintf("session: run %s suspended by shutdown after %d cuts; snapshot at %s", e.RunID, e.Visited, e.SnapshotPath)
+}

@@ -46,6 +46,7 @@ package polyise
 import (
 	"context"
 	"io"
+	"net/http"
 
 	"polyise/internal/baseline"
 	"polyise/internal/dfg"
@@ -54,6 +55,7 @@ import (
 	"polyise/internal/graphio"
 	"polyise/internal/interp"
 	"polyise/internal/ise"
+	"polyise/internal/session"
 	"polyise/internal/workload"
 )
 
@@ -141,12 +143,13 @@ type StopReason = enum.StopReason
 // The stop reasons, in increasing precedence: when several causes race,
 // Stats.StopReason reports the highest.
 const (
-	StopNone     = enum.StopNone     // ran to completion
-	StopVisitor  = enum.StopVisitor  // the visitor returned false
-	StopBudget   = enum.StopBudget   // MaxCuts or MaxDedupBytes reached
-	StopDeadline = enum.StopDeadline // Options.Deadline passed
-	StopCanceled = enum.StopCanceled // Options.Context canceled
-	StopError    = enum.StopError    // contained panic or worker failure; see Stats.Err
+	StopNone       = enum.StopNone       // ran to completion
+	StopVisitor    = enum.StopVisitor    // the visitor returned false
+	StopBudget     = enum.StopBudget     // MaxCuts or MaxDedupBytes reached
+	StopCheckpoint = enum.StopCheckpoint // Options.CheckpointStop closed; run parked
+	StopDeadline   = enum.StopDeadline   // Options.Deadline passed
+	StopCanceled   = enum.StopCanceled   // Options.Context canceled
+	StopError      = enum.StopError      // contained panic or worker failure; see Stats.Err
 )
 
 // PanicError is the Stats.Err value for a panic contained at an
@@ -270,3 +273,29 @@ type ExecResult = interp.Result
 // reference the test suite uses to prove that collapsing instructions
 // preserves program meaning.
 func Execute(g *Graph, env ExecEnv) (ExecResult, error) { return interp.Run(g, env) }
+
+// Service is the enumeration-as-a-service session layer behind the
+// polyised server: content-addressed graph caching under a global memory
+// budget, admission control with load shedding, per-request deadlines and
+// budgets, panic isolation, and graceful shutdown that parks durable runs
+// as resumable checkpoints. See internal/session and cmd/polyised.
+type Service = session.Service
+
+// ServiceConfig sizes a Service.
+type ServiceConfig = session.Config
+
+// ServiceRequest names one enumeration over a cached graph.
+type ServiceRequest = session.Request
+
+// GraphID is the content address of a cached graph (the same digest that
+// gates checkpoint resume).
+type GraphID = session.GraphID
+
+// NewService builds the session layer; serve it over HTTP with
+// NewServiceHandler or drive it directly.
+func NewService(cfg ServiceConfig) *Service { return session.NewService(cfg) }
+
+// NewServiceHandler exposes a Service over HTTP (the polyised API).
+func NewServiceHandler(s *Service, hc session.HandlerConfig) http.Handler {
+	return session.NewHandler(s, hc)
+}
